@@ -1,0 +1,65 @@
+// Extension ablation: collective buffering (aggregator subsets) for the
+// two-phase OCIO path — the optimization the paper's §II mentions and its
+// experiments disable ("we do not enable collective buffering").
+//
+// Fewer aggregators mean fewer, larger file-system requests and a smaller
+// exchange fan-in, at the price of larger per-aggregator buffers — the
+// trade-off this sweep quantifies.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "mpiio/file.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace tcio;
+  using namespace tcio::bench;
+
+  printHeader("Ablation: OCIO collective buffering (cb_nodes)",
+              "fewer aggregators trade FS request count against aggregator "
+              "memory and exchange fan-in");
+
+  const int P = 64;
+  Table t("ablation.cb_nodes");
+  t.header({"aggregators", "write MB/s", "aggregator buffer", "fs requests"});
+  for (const int cb : {0, 32, 16, 8, 4}) {
+    fs::Filesystem fsys(paperFs());
+    mpi::JobConfig job = paperJob(P);
+    job.memory_budget_per_rank = 0;
+    double mbps = 0;
+    Bytes agg_buffer = 0;
+    mpi::runJob(job, [&](mpi::Comm& comm) {
+      // The Table II pattern, driven directly through MpioFile so cb_nodes
+      // can be set.
+      const std::int64_t len = 4096;
+      const Bytes block = 12;
+      io::MpioConfig mc;
+      mc.cb_nodes = cb;
+      comm.barrier();
+      const SimTime t0 = comm.proc().now();
+      io::MpioFile f = io::MpioFile::open(comm, fsys, "cb.dat",
+                                          fs::kWrite | fs::kCreate, mc);
+      auto e = mpi::Datatype::contiguous(block, mpi::Datatype::byte()).commit();
+      auto ft = mpi::Datatype::vector(len, 1, P, e).commit();
+      f.setView(comm.rank() * block, e, ft);
+      std::vector<std::byte> buf(static_cast<std::size_t>(len * block),
+                                 static_cast<std::byte>(comm.rank()));
+      const io::TwoPhaseStats st =
+          f.writeAtAll(0, buf.data(), static_cast<Bytes>(buf.size()));
+      f.close();
+      comm.barrier();
+      double dt = comm.proc().now() - t0;
+      comm.allreduce(&dt, 1, mpi::ReduceOp::kMax);
+      if (comm.rank() == 0) {
+        mbps = static_cast<double>(len * block) * P / dt / 1e6;
+        agg_buffer = st.aggregator_buffer;
+      }
+    });
+    t.row({cb == 0 ? "all (paper)" : std::to_string(cb),
+           formatDouble(mbps, 1), formatBytes(agg_buffer),
+           std::to_string(fsys.stats().write_requests)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 7: synthetic-benchmark read throughput vs file size at P=64,
+// TCIO vs OCIO.
+//
+// Paper shape: TCIO reads faster than OCIO across sizes, and OCIO again
+// fails at the 48 GB point (its read path needs the same combine +
+// aggregator buffers).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/error.h"
+#include "workload/synthetic.h"
+
+namespace tcio::bench {
+namespace {
+
+constexpr int kProcs = 64;
+
+workload::BenchmarkConfig cfgForLen(workload::Method m, std::int64_t len) {
+  workload::BenchmarkConfig c;
+  c.method = m;
+  c.array_elem_sizes = {4, 8};
+  c.len_array = len;
+  c.size_access = 1;
+  c.tcio = paperTcio();
+  return c;
+}
+
+std::string measureRead(workload::Method m, std::int64_t len) {
+  try {
+    fs::Filesystem fsys(paperFs());
+    double mbps = 0;
+    mpi::runJob(paperJob(kProcs), [&](mpi::Comm& comm) {
+      // The snapshot is always produced with TCIO (it fits in memory at
+      // every size); only the read method under test varies.
+      auto wcfg = cfgForLen(workload::Method::kTcio, len);
+      workload::runWritePhase(comm, fsys, wcfg);
+      const auto r = workload::runReadPhase(comm, fsys, cfgForLen(m, len));
+      if (comm.rank() == 0) mbps = r.throughput_mbps;
+    });
+    return formatDouble(mbps, 1);
+  } catch (const OutOfMemoryBudget& e) {
+    return std::string("FAILED (out of memory: ") +
+           formatBytes(e.requested_bytes) + " over budget)";
+  }
+}
+
+}  // namespace
+}  // namespace tcio::bench
+
+int main() {
+  using namespace tcio;
+  using namespace tcio::bench;
+
+  printHeader(
+      "Figure 7: read throughput vs file size (P=64)",
+      "TCIO reads ahead of OCIO; OCIO fails at the 48 GB-equivalent point");
+
+  Table t("fig7.read");
+  t.header({"file size (paper-equiv)", "LENarray", "TCIO MB/s", "OCIO MB/s"});
+  const std::int64_t lens[] = {(1LL << 20) / kScale, (4LL << 20) / kScale,
+                               (16LL << 20) / kScale, (64LL << 20) / kScale};
+  const char* labels[] = {"768 MB", "3 GB", "12 GB", "48 GB"};
+  for (int i = 0; i < 4; ++i) {
+    if (envInt64("TCIO_BENCH_FAST", 0) != 0 && i >= 2) break;
+    t.row({labels[i], std::to_string(lens[i]),
+           measureRead(workload::Method::kTcio, lens[i]),
+           measureRead(workload::Method::kOcio, lens[i])});
+    std::printf("  %s done\n", labels[i]);
+    std::fflush(stdout);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark) of the simulated parallel file system:
+// per-request costs, cache effect, striping effect, lock ping-pong — the
+// FS-side constants behind the paper's arguments.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "fs/client.h"
+#include "mpi/runtime.h"
+
+namespace tcio::bench {
+namespace {
+
+void BM_ContiguousWriteVirtualCost(benchmark::State& state) {
+  const Bytes n = state.range(0);
+  SimTime virtual_cost = 0;
+  for (auto _ : state) {
+    fs::Filesystem fsys(paperFs());
+    SimTime t = 0;
+    mpi::runJob(paperJob(1), [&](mpi::Comm& comm) {
+      fs::FsClient fc(fsys, comm.proc());
+      fs::FsFile f = fc.open("m.dat", fs::kWrite | fs::kCreate);
+      std::vector<std::byte> buf(static_cast<std::size_t>(n), std::byte{1});
+      const SimTime t0 = comm.proc().now();
+      fc.pwrite(f, 0, buf.data(), n);
+      t = comm.proc().now() - t0;
+      fc.close(f);
+    });
+    virtual_cost = t;
+  }
+  state.counters["virtual_ms"] = virtual_cost * 1e3;
+  state.counters["virtual_MBps"] =
+      static_cast<double>(n) / virtual_cost / 1e6;
+}
+BENCHMARK(BM_ContiguousWriteVirtualCost)->Arg(4096)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_CachedVsColdRead(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  SimTime virtual_cost = 0;
+  for (auto _ : state) {
+    fs::FsConfig fcfg = paperFs();
+    if (!cached) fcfg.cache_capacity_per_ost = 0;
+    fs::Filesystem fsys(fcfg);
+    SimTime t = 0;
+    mpi::runJob(paperJob(1), [&](mpi::Comm& comm) {
+      fs::FsClient fc(fsys, comm.proc());
+      fs::FsFile f = fc.open("c.dat", fs::kRead | fs::kWrite | fs::kCreate);
+      std::vector<std::byte> buf(1 << 18, std::byte{1});
+      fc.pwrite(f, 0, buf.data(), 1 << 18);
+      const SimTime t0 = comm.proc().now();
+      fc.pread(f, 0, buf.data(), 1 << 18);
+      t = comm.proc().now() - t0;
+      fc.close(f);
+    });
+    virtual_cost = t;
+  }
+  state.counters["virtual_ms"] = virtual_cost * 1e3;
+}
+BENCHMARK(BM_CachedVsColdRead)->Arg(1)->Arg(0);
+
+void BM_LockPingPongPenalty(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  SimTime virtual_cost = 0;
+  for (auto _ : state) {
+    fs::Filesystem fsys(paperFs());
+    SimTime t = 0;
+    mpi::runJob(paperJob(writers), [&](mpi::Comm& comm) {
+      fs::FsClient fc(fsys, comm.proc());
+      fs::FsFile f = fc.open("p.dat", fs::kWrite | fs::kCreate);
+      comm.barrier();
+      const SimTime t0 = comm.proc().now();
+      // Everyone hammers the same lock unit.
+      for (int i = 0; i < 8; ++i) {
+        const std::int64_t v = i;
+        fc.pwrite(f, comm.rank() * 8 + i * 256, &v, 8);
+      }
+      comm.barrier();
+      double dt = comm.proc().now() - t0;
+      comm.allreduce(&dt, 1, mpi::ReduceOp::kMax);
+      if (comm.rank() == 0) t = dt;
+      fc.close(f);
+    });
+    virtual_cost = t;
+  }
+  state.counters["virtual_ms"] = virtual_cost * 1e3;
+}
+BENCHMARK(BM_LockPingPongPenalty)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_StripingParallelism(benchmark::State& state) {
+  const int stripes = static_cast<int>(state.range(0));
+  SimTime virtual_cost = 0;
+  for (auto _ : state) {
+    fs::FsConfig fcfg = paperFs();
+    fcfg.default_stripe_count = stripes;
+    fs::Filesystem fsys(fcfg);
+    SimTime t = 0;
+    mpi::runJob(paperJob(1), [&](mpi::Comm& comm) {
+      fs::FsClient fc(fsys, comm.proc());
+      fs::FsFile f = fc.open("s.dat", fs::kWrite | fs::kCreate);
+      std::vector<std::byte> buf(1 << 20, std::byte{1});
+      const SimTime t0 = comm.proc().now();
+      fc.pwrite(f, 0, buf.data(), 1 << 20);
+      t = comm.proc().now() - t0;
+      fc.close(f);
+    });
+    virtual_cost = t;
+  }
+  state.counters["virtual_ms"] = virtual_cost * 1e3;
+}
+BENCHMARK(BM_StripingParallelism)->Arg(1)->Arg(4)->Arg(30);
+
+}  // namespace
+}  // namespace tcio::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Calibration probe (not a paper figure): decomposes phase times for one
+// configuration so the cost-model constants can be tuned intelligently.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "workload/synthetic.h"
+
+using namespace tcio;
+using namespace tcio::bench;
+
+int main(int argc, char** argv) {
+  const int P = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int knob = argc > 2 ? std::atoi(argv[2]) : 0;  // bitmask of disables
+
+  for (auto method : {workload::Method::kTcio, workload::Method::kOcio}) {
+    fs::Filesystem fsys(paperFs());
+    mpi::JobConfig job = paperJob(P);
+    if (knob & 1) job.net.tx_queue_depth = 0;
+    if (knob & 2) {
+      job.net.jitter_mean = 0;
+      job.net.heavy_tail_prob = 0;
+    }
+    if (knob & 4) job.net.fabric_congestion_gamma = 0;
+    double w = 0, r = 0;
+    SimTime wt = 0, rt = 0;
+    mpi::runJob(job, [&](mpi::Comm& comm) {
+      workload::BenchmarkConfig cfg;
+      cfg.method = method;
+      cfg.array_elem_sizes = {4, 8};
+      cfg.len_array = 4096;
+      cfg.tcio = paperTcio();
+      const auto wres = workload::runWritePhase(comm, fsys, cfg);
+      const auto rres = workload::runReadPhase(comm, fsys, cfg);
+      if (comm.rank() == 0) {
+        w = wres.throughput_mbps;
+        r = rres.throughput_mbps;
+        wt = wres.seconds;
+        rt = rres.seconds;
+      }
+    });
+    const auto st = fsys.stats();
+    std::printf(
+        "%s P=%d knob=%d: write %.4fs (%.1f MB/s) read %.4fs (%.1f MB/s) "
+        "fs[w=%lld r=%lld cache=%lld%% revoke=%lld]\n",
+        method == workload::Method::kTcio ? "TCIO" : "OCIO", P, knob, wt, w,
+        rt, r, static_cast<long long>(st.write_requests),
+        static_cast<long long>(st.read_requests),
+        st.bytes_read > 0
+            ? static_cast<long long>(100 * st.bytes_read_from_cache /
+                                     st.bytes_read)
+            : 0,
+        static_cast<long long>(st.lock_revocations));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Calibration probe 2: phase-by-phase decomposition of the TCIO read path.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "tcio/file.h"
+#include "workload/synthetic.h"
+
+using namespace tcio;
+using namespace tcio::bench;
+
+int main(int argc, char** argv) {
+  const int P = argc > 1 ? std::atoi(argv[1]) : 64;
+  fs::Filesystem fsys(paperFs());
+  mpi::runJob(paperJob(P), [&](mpi::Comm& comm) {
+    workload::BenchmarkConfig cfg;
+    cfg.method = workload::Method::kTcio;
+    cfg.array_elem_sizes = {4, 8};
+    cfg.len_array = 4096;
+    cfg.tcio = paperTcio();
+    // Manual write phase with timestamps.
+    {
+      const Bytes fsz = workload::totalFileSize(cfg, P);
+      core::TcioConfig tc = cfg.tcio;
+      tc.segments_per_rank =
+          (fsz + tc.segment_size * P - 1) / (tc.segment_size * P);
+      comm.barrier();
+      const SimTime w0 = comm.proc().now();
+      core::File f(comm, fsys, cfg.file_name,
+                   fs::kWrite | fs::kCreate, tc);
+      const SimTime w1 = comm.proc().now();
+      std::vector<std::byte> src(12, std::byte{7});
+      for (std::int64_t i = 0; i < cfg.len_array; ++i) {
+        f.writeAt(comm.rank() * 12 + i * 12 * P, src.data(), 12);
+      }
+      const SimTime w2 = comm.proc().now();
+      f.close();
+      const SimTime w3 = comm.proc().now();
+      comm.barrier();
+      if (comm.rank() == 0) {
+        std::printf("write: open %.4f loop %.4f close %.4f\n", w1 - w0,
+                    w2 - w1, w3 - w2);
+      }
+    }
+    workload::runWritePhase(comm, fsys, cfg);
+    comm.barrier();
+
+    // Manual read phase with timestamps.
+    const Bytes file_size = workload::totalFileSize(cfg, P);
+    core::TcioConfig tc = cfg.tcio;
+    tc.segments_per_rank =
+        (file_size + tc.segment_size * P - 1) / (tc.segment_size * P);
+    const SimTime t0 = comm.proc().now();
+    core::File f(comm, fsys, cfg.file_name, fs::kRead, tc);
+    const SimTime t1 = comm.proc().now();
+    std::vector<std::byte> sink(12u * 4096);
+    const Bytes block = 12;
+    for (std::int64_t i = 0; i < cfg.len_array; ++i) {
+      const Offset pos = comm.rank() * block + i * block * P;
+      f.readAt(pos, sink.data() + i * block, block);
+    }
+    const SimTime t2 = comm.proc().now();
+    f.fetch();
+    const SimTime t3 = comm.proc().now();
+    const auto st = f.stats();
+    f.close();
+    const SimTime t4 = comm.proc().now();
+    if (comm.rank() == 0) {
+      std::printf(
+          "P=%d open %.4f loop %.4f fetch %.4f close %.4f | indep=%lld "
+          "coll=%lld\n",
+          P, t1 - t0, t2 - t1, t3 - t2, t4 - t3,
+          static_cast<long long>(st.independent_fetches),
+          static_cast<long long>(st.collective_fetches));
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Tables I & III and the Program 2 / Program 3 comparison (§V.B.1):
+// the qualitative OCIO-vs-TCIO comparison, backed by measured evidence from
+// this repository's implementations — source lines, API calls, and peak
+// simulated memory per rank on the same workload.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace tcio;
+  using namespace tcio::bench;
+
+  printHeader("Table III: OCIO vs TCIO comparison (measured evidence)",
+              "TCIO: no app-level buffer, no file view, fewer LoC, better "
+              "memory efficiency, fewer access-pattern restrictions");
+
+  // Measure peak memory per rank for both methods on the Table II workload.
+  const int P = 16;
+  Bytes peak_tcio = 0, peak_ocio = 0;
+  for (auto method : {workload::Method::kTcio, workload::Method::kOcio}) {
+    fs::Filesystem fsys(paperFs());
+    mpi::JobConfig job = paperJob(P);
+    job.memory_budget_per_rank = 0;  // measuring, not enforcing
+    Bytes peak = 0;
+    mpi::runJob(job, [&](mpi::Comm& comm) {
+      workload::BenchmarkConfig cfg;
+      cfg.method = method;
+      cfg.array_elem_sizes = {4, 8};
+      cfg.len_array = 16384;
+      cfg.tcio = paperTcio();
+      workload::runWritePhase(comm, fsys, cfg);
+      if (comm.rank() == 0) peak = comm.memory().peak();
+    });
+    (method == workload::Method::kTcio ? peak_tcio : peak_ocio) = peak;
+  }
+
+  const auto effort = workload::measureProgrammingEffort();
+
+  Table t("table3");
+  t.header({"aspect", "OCIO", "TCIO"});
+  t.row({"application-level buffer", "yes (combine before one call)", "no"});
+  t.row({"file view / derived datatypes", "yes", "no"});
+  t.row({"lines of code (this repo's write path)",
+         std::to_string(effort.ocio_lines), std::to_string(effort.tcio_lines)});
+  t.row({"distinct I/O-stack API calls", std::to_string(effort.ocio_api_calls),
+         std::to_string(effort.tcio_api_calls)});
+  t.row({"peak memory/rank (Table II workload)", formatBytes(peak_ocio),
+         formatBytes(peak_tcio)});
+  t.row({"access-pattern restriction",
+         "patterns describable by derived datatypes",
+         "any POSIX-like pattern (incl. dynamic sizes)"});
+  t.print(std::cout);
+
+  std::printf(
+      "\nTable I configuration parameters exercised by this harness:\n"
+      "  method (0 OCIO / 1 TCIO / 2 MPI-IO), NUMarray, TYPEarray\n"
+      "  (c,s,i,f,d), LENarray, SIZEaccess — see workload::BenchmarkConfig.\n");
+  return 0;
+}

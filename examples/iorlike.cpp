@@ -1,0 +1,127 @@
+// An IOR-style configurable I/O benchmark driver (the paper cites IOR as a
+// typical collective-I/O consumer). Runs the interleaved shared-file
+// workload through a chosen API on a simulated cluster.
+//
+// Usage:
+//   iorlike [-a tcio|ocio|mpiio] [-p ranks] [-b bytes_per_rank]
+//           [-t transfer_size] [-s segment_size] [-r repetitions]
+//
+// Example:
+//   iorlike -a tcio -p 64 -b 1048576 -t 48
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fs/filesystem.h"
+#include "mpi/runtime.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+struct Options {
+  tcio::workload::Method method = tcio::workload::Method::kTcio;
+  int ranks = 16;
+  tcio::Bytes bytes_per_rank = 256 * 1024;
+  tcio::Bytes transfer = 48;  // bytes per I/O call
+  tcio::Bytes segment = 64 * 1024;
+  int reps = 1;
+};
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    const std::string val = argv[++i];
+    if (flag == "-a") {
+      if (val == "tcio") {
+        opt.method = tcio::workload::Method::kTcio;
+      } else if (val == "ocio") {
+        opt.method = tcio::workload::Method::kOcio;
+      } else if (val == "mpiio") {
+        opt.method = tcio::workload::Method::kMpiio;
+      } else {
+        std::fprintf(stderr, "unknown api: %s\n", val.c_str());
+        return false;
+      }
+    } else if (flag == "-p") {
+      opt.ranks = std::stoi(val);
+    } else if (flag == "-b") {
+      opt.bytes_per_rank = std::stoll(val);
+    } else if (flag == "-t") {
+      opt.transfer = std::stoll(val);
+    } else if (flag == "-s") {
+      opt.segment = std::stoll(val);
+    } else if (flag == "-r") {
+      opt.reps = std::stoi(val);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tcio;
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: iorlike [-a tcio|ocio|mpiio] [-p ranks] [-b "
+                 "bytes_per_rank] [-t transfer] [-s segment] [-r reps]\n");
+    return 1;
+  }
+
+  // Map onto the Table I synthetic workload: one byte-array per process,
+  // `transfer` bytes per call, interleaved round-robin.
+  workload::BenchmarkConfig cfg;
+  cfg.method = opt.method;
+  cfg.array_elem_sizes = {1};
+  cfg.len_array = opt.bytes_per_rank;
+  cfg.size_access = opt.transfer;
+  cfg.tcio.segment_size = opt.segment;
+  if (cfg.len_array % cfg.size_access != 0) {
+    cfg.len_array -= cfg.len_array % cfg.size_access;
+  }
+
+  const char* api = opt.method == workload::Method::kTcio    ? "tcio"
+                    : opt.method == workload::Method::kOcio ? "ocio"
+                                                            : "mpiio";
+  std::printf("iorlike: api=%s ranks=%d block=%lld xfer=%lld segment=%lld "
+              "reps=%d\n",
+              api, opt.ranks, static_cast<long long>(cfg.len_array),
+              static_cast<long long>(opt.transfer),
+              static_cast<long long>(opt.segment), opt.reps);
+  std::printf("%-6s %14s %14s %14s\n", "rep", "write MB/s", "read MB/s",
+              "file size");
+
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    fs::Filesystem fsys(fs::FsConfig{});
+    mpi::JobConfig job;
+    job.num_ranks = opt.ranks;
+    job.seed = static_cast<std::uint64_t>(rep) + 1;
+    double wr = 0, rd = 0;
+    Bytes fsize = 0;
+    try {
+      mpi::runJob(job, [&](mpi::Comm& comm) {
+        const auto w = workload::runWritePhase(comm, fsys, cfg);
+        const auto r = workload::runReadPhase(comm, fsys, cfg);
+        if (comm.rank() == 0) {
+          wr = w.throughput_mbps;
+          rd = r.throughput_mbps;
+          fsize = w.file_size;
+        }
+      });
+    } catch (const Error& e) {
+      std::printf("%-6d FAILED: %s\n", rep, e.what());
+      continue;
+    }
+    std::printf("%-6d %14.2f %14.2f %11lld KiB\n", rep, wr, rd,
+                static_cast<long long>(fsize / 1024));
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: the smallest complete TCIO program.
+//
+// Eight simulated MPI ranks write interleaved records into one shared file
+// with plain POSIX-like calls — no combine buffers, no datatypes, no file
+// views — then read them back after a restart. Run it with no arguments.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "fs/filesystem.h"
+#include "mpi/runtime.h"
+#include "tcio/tcio.h"
+
+int main() {
+  using namespace tcio;
+
+  // A Lustre-like file system: 30 OSTs, 1 MiB stripes (Lonestar defaults).
+  fs::Filesystem fsys(fs::FsConfig{});
+
+  // An 8-rank simulated MPI job.
+  mpi::JobConfig job;
+  job.num_ranks = 8;
+
+  constexpr int kRecords = 100;
+  struct Record {
+    std::int32_t step;
+    double value;
+  };
+
+  std::printf("quickstart: 8 ranks write %d interleaved records each\n",
+              kRecords);
+
+  mpi::runJob(job, [&](mpi::Comm& comm) {
+    core::TcioConfig cfg;
+    cfg.segment_size = 64_KiB;      // lock granularity of the simulated FS
+    cfg.segments_per_rank = 16;
+
+    // ---- Dump phase: every rank writes its records, interleaved. --------
+    {
+      core::File f(comm, fsys, "quickstart.dat", fs::kWrite | fs::kCreate,
+                   cfg);
+      for (int i = 0; i < kRecords; ++i) {
+        const Record rec{i, comm.rank() + i * 0.001};
+        const Offset pos =
+            (static_cast<Offset>(i) * comm.size() + comm.rank()) *
+            static_cast<Offset>(sizeof(Record));
+        f.writeAt(pos, &rec, sizeof(Record));
+      }
+      f.close();  // collective: level-2 buffers drain to the file system
+      if (comm.rank() == 0) {
+        std::printf("  wrote %lld bytes in %lld level-1 flushes\n",
+                    static_cast<long long>(f.stats().bytes_written),
+                    static_cast<long long>(f.stats().level1_flushes));
+      }
+    }
+
+    // ---- Restart phase: read a neighbour's records back. ----------------
+    {
+      core::File f(comm, fsys, "quickstart.dat", fs::kRead, cfg);
+      const int peer = (comm.rank() + 1) % comm.size();
+      std::vector<Record> got(kRecords);
+      for (int i = 0; i < kRecords; ++i) {
+        const Offset pos =
+            (static_cast<Offset>(i) * comm.size() + peer) *
+            static_cast<Offset>(sizeof(Record));
+        f.readAt(pos, &got[static_cast<std::size_t>(i)], sizeof(Record));
+      }
+      f.fetch();  // lazy reads materialize here
+      f.close();
+      for (int i = 0; i < kRecords; ++i) {
+        const Record& r = got[static_cast<std::size_t>(i)];
+        if (r.step != i || r.value != peer + i * 0.001) {
+          std::printf("  rank %d: MISMATCH at record %d\n", comm.rank(), i);
+          return;
+        }
+      }
+      if (comm.rank() == 0) {
+        std::printf("  restart verified: all records match\n");
+      }
+    }
+  });
+
+  std::printf("quickstart: done (simulated file size %lld bytes)\n",
+              static_cast<long long>(fsys.peekSize("quickstart.dat")));
+  return 0;
+}

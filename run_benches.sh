@@ -1,0 +1,8 @@
+#!/bin/bash
+# Runs every bench binary, as the final deliverable loop does.
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+  echo
+done

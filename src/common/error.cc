@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace tcio::detail {
+
+void failCheck(const char* expr, const char* file, int line,
+               const std::string& msg) {
+  std::ostringstream os;
+  os << "TCIO_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace tcio::detail

@@ -1,0 +1,78 @@
+// Error handling for TCIO.
+//
+// Policy (follows the C++ Core Guidelines split between programming errors
+// and recoverable conditions):
+//   * Precondition violations and simulator invariant breaches throw
+//     `tcio::Error` (or a subclass) — they indicate a bug in the caller or in
+//     the simulator and are not meant to be caught in normal control flow.
+//   * Recoverable conditions that real I/O stacks report through error codes
+//     (out-of-memory-budget, file-not-found, ...) are surfaced as typed
+//     subclasses so tests can assert on them precisely.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tcio {
+
+/// Root of the TCIO error hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A simulated rank exceeded its per-process memory budget (models the
+/// paper's Fig. 6/7 failure of OCIO at the 48 GB configuration).
+class OutOfMemoryBudget : public Error {
+ public:
+  OutOfMemoryBudget(const std::string& what, std::int64_t requested,
+                    std::int64_t available)
+      : Error(what), requested_bytes(requested), available_bytes(available) {}
+
+  std::int64_t requested_bytes;
+  std::int64_t available_bytes;
+};
+
+/// File-system level failure (missing file, bad mode, ...).
+class FsError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Misuse of the simulated MPI layer (rank out of range, uncommitted
+/// datatype, window access outside bounds, ...).
+class MpiError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The discrete-event engine detected that every rank is blocked — the
+/// simulated program deadlocked. The message lists each rank's wait reason.
+class DeadlockError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void failCheck(const char* expr, const char* file, int line,
+                            const std::string& msg);
+}  // namespace detail
+
+/// Invariant check that is active in all build types (simulation correctness
+/// matters more than the nanoseconds a disabled assert would save).
+#define TCIO_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::tcio::detail::failCheck(#expr, __FILE__, __LINE__, {});         \
+    }                                                                   \
+  } while (false)
+
+/// Like TCIO_CHECK but with a contextual message.
+#define TCIO_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::tcio::detail::failCheck(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                                   \
+  } while (false)
+
+}  // namespace tcio

@@ -1,0 +1,84 @@
+// Core value types shared by every TCIO module.
+//
+// All simulated quantities use explicit, self-documenting aliases instead of
+// bare integers so that interfaces state whether they deal in file offsets,
+// byte counts, ranks, or virtual seconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tcio {
+
+/// Absolute position inside a (simulated) file, in bytes.
+using Offset = std::int64_t;
+
+/// A byte count. Signed so that arithmetic on offsets stays in one domain.
+using Bytes = std::int64_t;
+
+/// MPI-style process identifier within a communicator, in [0, size).
+using Rank = int;
+
+/// Virtual simulation time in seconds. The discrete-event engine is the only
+/// authority over values of this type.
+using SimTime = double;
+
+/// Identifier of a level-2 buffer segment (global, file-order index).
+using SegmentId = std::int64_t;
+
+// -- Byte-size literals ------------------------------------------------------
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * kKiB;
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * kMiB;
+}
+constexpr Bytes operator""_GiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * kGiB;
+}
+
+// -- Time literals ------------------------------------------------------------
+
+constexpr SimTime operator""_us(long double v) {
+  return static_cast<SimTime>(v) * 1e-6;
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1e-6;
+}
+constexpr SimTime operator""_ms(long double v) {
+  return static_cast<SimTime>(v) * 1e-3;
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1e-3;
+}
+
+/// A half-open byte range [begin, end) in a file. The workhorse of the access
+/// pattern machinery: datatype flattening, file domains, lock extents, and
+/// level-1 buffer bookkeeping all speak in `Extent`s.
+struct Extent {
+  Offset begin = 0;
+  Offset end = 0;
+
+  constexpr Bytes size() const { return end - begin; }
+  constexpr bool empty() const { return end <= begin; }
+  constexpr bool contains(Offset o) const { return o >= begin && o < end; }
+  constexpr bool overlaps(const Extent& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  friend constexpr bool operator==(const Extent&, const Extent&) = default;
+};
+
+/// Intersection of two extents; empty extent when disjoint.
+constexpr Extent intersect(const Extent& a, const Extent& b) {
+  Extent r{a.begin > b.begin ? a.begin : b.begin,
+           a.end < b.end ? a.end : b.end};
+  if (r.end < r.begin) r.end = r.begin;
+  return r;
+}
+
+}  // namespace tcio

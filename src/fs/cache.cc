@@ -1,0 +1,79 @@
+#include "fs/cache.h"
+
+#include <algorithm>
+
+namespace tcio::fs {
+
+void ServerCache::insert(std::int64_t file, Offset off, Bytes n) {
+  if (capacity_ <= 0 || n <= 0) return;
+  // Charge only the not-yet-resident portion.
+  const Bytes fresh = n - residentBytes(file, off, n);
+  if (fresh > 0) {
+    used_ += fresh;
+    fifo_.push_back({file, Extent{off, off + n}});
+  }
+  // Merge into the interval map.
+  IntervalMap& im = files_[file];
+  Offset begin = off, end = off + n;
+  auto it = im.lower_bound(begin);
+  if (it != im.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = im.erase(prev);
+    }
+  }
+  while (it != im.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = im.erase(it);
+  }
+  im[begin] = end;
+  evictUntilFits();
+}
+
+Bytes ServerCache::residentBytes(std::int64_t file, Offset off, Bytes n) const {
+  if (capacity_ <= 0 || n <= 0) return 0;
+  const auto fit = files_.find(file);
+  if (fit == files_.end()) return 0;
+  const IntervalMap& im = fit->second;
+  Bytes resident = 0;
+  auto it = im.upper_bound(off);
+  if (it != im.begin()) --it;
+  for (; it != im.end() && it->first < off + n; ++it) {
+    const Offset b = std::max(it->first, off);
+    const Offset e = std::min(it->second, off + n);
+    if (e > b) resident += e - b;
+  }
+  return resident;
+}
+
+void ServerCache::evictUntilFits() {
+  while (used_ > capacity_ && !fifo_.empty()) {
+    const auto [file, ext] = fifo_.front();
+    fifo_.pop_front();
+    auto fit = files_.find(file);
+    if (fit == files_.end()) continue;
+    IntervalMap& im = fit->second;
+    // Remove [ext.begin, ext.end) from the interval map, counting what was
+    // actually resident (later inserts may have merged or re-covered it).
+    auto it = im.upper_bound(ext.begin);
+    if (it != im.begin()) --it;
+    while (it != im.end() && it->first < ext.end) {
+      const Offset b = it->first, e = it->second;
+      const Offset rb = std::max(b, ext.begin);
+      const Offset re = std::min(e, ext.end);
+      if (re <= rb) {
+        ++it;
+        continue;
+      }
+      used_ -= re - rb;
+      it = im.erase(it);
+      if (b < rb) im[b] = rb;
+      if (re < e) it = im.insert({re, e}).first;
+    }
+    if (im.empty()) files_.erase(fit);
+  }
+}
+
+}  // namespace tcio::fs

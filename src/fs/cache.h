@@ -1,0 +1,43 @@
+// Per-OST server-side write-back cache.
+//
+// Writes land in server memory and are cached; reads of cached extents are
+// served at memory speed instead of disk speed. This models the asymmetry
+// the paper's experiments show (read throughput well above the disk write
+// ceiling for write-then-restart workloads). FIFO eviction bounded by a
+// per-OST byte capacity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "common/types.h"
+
+namespace tcio::fs {
+
+/// Interval cache keyed by (file id, byte range). FIFO eviction.
+class ServerCache {
+ public:
+  /// `capacity` <= 0 disables the cache entirely.
+  explicit ServerCache(Bytes capacity) : capacity_(capacity) {}
+
+  /// Record that [off, off+n) of file `file` is now cache-resident.
+  void insert(std::int64_t file, Offset off, Bytes n);
+
+  /// Bytes of [off, off+n) currently resident.
+  Bytes residentBytes(std::int64_t file, Offset off, Bytes n) const;
+
+  Bytes usedBytes() const { return used_; }
+
+ private:
+  using IntervalMap = std::map<Offset, Offset>;  // begin -> end, disjoint
+
+  void evictUntilFits();
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::map<std::int64_t, IntervalMap> files_;
+  std::deque<std::pair<std::int64_t, Extent>> fifo_;
+};
+
+}  // namespace tcio::fs

@@ -1,0 +1,54 @@
+#include "fs/client.h"
+
+namespace tcio::fs {
+
+FsFile FsClient::open(const std::string& name, unsigned flags,
+                      int stripe_count) {
+  Filesystem::OpenResult res;
+  proc_->atomic([&] {
+    res = fs_->open(client_, proc_->now(), name, flags, stripe_count);
+  });
+  proc_->advanceTo(res.done);
+  return FsFile(res.inode, flags);
+}
+
+void FsClient::pwrite(FsFile& f, Offset off, const void* data, Bytes n) {
+  TCIO_CHECK_MSG(f.valid(), "pwrite on closed file");
+  TCIO_CHECK_MSG((f.flags_ & kWrite) != 0, "pwrite on read-only handle");
+  const auto* p = static_cast<const std::byte*>(data);
+  SimTime done = 0;
+  proc_->atomic([&] {
+    done = fs_->write(client_, proc_->now(), f.inode_,
+                      off, {p, static_cast<std::size_t>(n)});
+  });
+  proc_->advanceTo(done);
+}
+
+void FsClient::pread(FsFile& f, Offset off, void* out, Bytes n) {
+  TCIO_CHECK_MSG(f.valid(), "pread on closed file");
+  TCIO_CHECK_MSG((f.flags_ & kRead) != 0, "pread on write-only handle");
+  auto* p = static_cast<std::byte*>(out);
+  SimTime done = 0;
+  proc_->atomic([&] {
+    done = fs_->read(client_, proc_->now(), f.inode_,
+                     off, {p, static_cast<std::size_t>(n)});
+  });
+  proc_->advanceTo(done);
+}
+
+Bytes FsClient::size(const FsFile& f) const {
+  TCIO_CHECK_MSG(f.valid(), "size on closed file");
+  Bytes n = 0;
+  proc_->atomic([&] { n = fs_->fileSize(f.inode_); });
+  return n;
+}
+
+void FsClient::close(FsFile& f) {
+  TCIO_CHECK_MSG(f.valid(), "double close");
+  SimTime done = 0;
+  proc_->atomic([&] { done = fs_->close(client_, proc_->now(), f.inode_); });
+  proc_->advanceTo(done);
+  f.inode_ = -1;
+}
+
+}  // namespace tcio::fs

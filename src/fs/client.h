@@ -1,0 +1,54 @@
+// Per-rank POSIX-like client for the simulated file system. Wraps every
+// Filesystem call in a Proc::atomic() section and advances the caller's
+// clock to the operation's completion time — this is the "vanilla" I/O path
+// the paper's MPI-IO baseline bottoms out in.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "fs/filesystem.h"
+#include "sim/engine.h"
+
+namespace tcio::fs {
+
+/// Handle on an open simulated file.
+class FsFile {
+ public:
+  FsFile() = default;
+  bool valid() const { return inode_ >= 0; }
+  int inode() const { return inode_; }
+
+ private:
+  friend class FsClient;
+  FsFile(int inode, unsigned flags) : inode_(inode), flags_(flags) {}
+  int inode_ = -1;
+  unsigned flags_ = 0;
+};
+
+/// One rank's view of the file system.
+class FsClient {
+ public:
+  FsClient(Filesystem& fs, sim::Proc& proc)
+      : fs_(&fs), proc_(&proc), client_(proc.rank()) {}
+
+  /// Opens `name` with OpenFlags; `stripe_count` 0 = file system default.
+  FsFile open(const std::string& name, unsigned flags, int stripe_count = 0);
+
+  void pwrite(FsFile& f, Offset off, const void* data, Bytes n);
+  void pread(FsFile& f, Offset off, void* out, Bytes n);
+
+  /// Current file size (cheap metadata query).
+  Bytes size(const FsFile& f) const;
+
+  void close(FsFile& f);
+
+  Filesystem& filesystem() { return *fs_; }
+
+ private:
+  Filesystem* fs_;
+  sim::Proc* proc_;
+  int client_;
+};
+
+}  // namespace tcio::fs

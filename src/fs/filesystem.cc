@@ -1,0 +1,195 @@
+#include "fs/filesystem.h"
+
+#include <algorithm>
+
+namespace tcio::fs {
+
+Filesystem::Filesystem(FsConfig cfg) : cfg_(cfg), mds_(1.0) {
+  TCIO_CHECK(cfg_.num_osts >= 1);
+  TCIO_CHECK(cfg_.stripe_size > 0);
+  TCIO_CHECK(cfg_.default_stripe_count >= 1 &&
+             cfg_.default_stripe_count <= cfg_.num_osts);
+  osts_.reserve(static_cast<std::size_t>(cfg_.num_osts));
+  caches_.reserve(static_cast<std::size_t>(cfg_.num_osts));
+  for (int i = 0; i < cfg_.num_osts; ++i) {
+    osts_.emplace_back(1.0);  // duration-priced FCFS queue
+    caches_.emplace_back(cfg_.cache_capacity_per_ost);
+  }
+}
+
+Filesystem::Inode& Filesystem::inodeAt(int inode) {
+  TCIO_CHECK_MSG(inode >= 0 && inode < static_cast<int>(inodes_.size()),
+                 "invalid inode");
+  return *inodes_[static_cast<std::size_t>(inode)];
+}
+
+const Filesystem::Inode& Filesystem::inodeAt(int inode) const {
+  TCIO_CHECK_MSG(inode >= 0 && inode < static_cast<int>(inodes_.size()),
+                 "invalid inode");
+  return *inodes_[static_cast<std::size_t>(inode)];
+}
+
+Filesystem::OpenResult Filesystem::open(int client, SimTime t,
+                                        const std::string& name,
+                                        unsigned flags, int stripe_count) {
+  (void)client;
+  ++stats_.opens;
+  const auto it = names_.find(name);
+  int inode;
+  if (it == names_.end()) {
+    if ((flags & kCreate) == 0) {
+      throw FsError("open: no such file: " + name);
+    }
+    auto ino = std::make_unique<Inode>();
+    ino->name = name;
+    ino->locks = std::make_unique<LockManager>(cfg_);
+    ino->stripe_count =
+        stripe_count > 0 ? std::min(stripe_count, cfg_.num_osts)
+                         : cfg_.default_stripe_count;
+    ino->start_ost = next_start_ost_;
+    next_start_ost_ = (next_start_ost_ + ino->stripe_count) % cfg_.num_osts;
+    inode = static_cast<int>(inodes_.size());
+    inodes_.push_back(std::move(ino));
+    names_[name] = inode;
+  } else {
+    inode = it->second;
+    if ((flags & kTruncate) != 0) {
+      inodeAt(inode).store.clear();
+      inodeAt(inode).locks = std::make_unique<LockManager>(cfg_);
+    }
+  }
+  const SimTime done =
+      mds_.serveDuration(t + cfg_.rpc_latency, cfg_.mds_open) +
+      cfg_.rpc_latency;
+  return {inode, done};
+}
+
+template <typename F>
+void Filesystem::forEachOstRun(const Inode& ino, Offset off, Bytes n,
+                               F&& fn) const {
+  if (n <= 0) return;
+  if (ino.stripe_count == 1) {
+    fn(ostOf(ino, off), off, n);
+    return;
+  }
+  Offset cur = off;
+  const Offset end = off + n;
+  int run_ost = ostOf(ino, cur);
+  Offset run_begin = cur;
+  while (cur < end) {
+    const Offset chunk_end =
+        std::min(end, (cur / cfg_.stripe_size + 1) * cfg_.stripe_size);
+    const int ost = ostOf(ino, cur);
+    if (ost != run_ost) {
+      fn(run_ost, run_begin, cur - run_begin);
+      run_ost = ost;
+      run_begin = cur;
+    }
+    cur = chunk_end;
+  }
+  fn(run_ost, run_begin, cur - run_begin);
+}
+
+SimTime Filesystem::write(int client, SimTime t, int inode, Offset off,
+                          std::span<const std::byte> data) {
+  Inode& ino = inodeAt(inode);
+  const Bytes n = static_cast<Bytes>(data.size());
+  if (n == 0) return t;
+  if (write_fault_in_ >= 0 && write_fault_in_-- == 0) {
+    throw FsError("injected write fault on " + ino.name);
+  }
+  SimTime done = t;
+  forEachOstRun(ino, off, n, [&](int ost, Offset roff, Bytes rlen) {
+    ++stats_.write_requests;
+    stats_.bytes_written += rlen;
+    const LockManager::Cost lock = ino.locks->acquireWrite(client, roff, rlen);
+    SimTime duration = cfg_.ost_request_overhead + lock.delay +
+                       static_cast<double>(rlen) / cfg_.ost_write_bandwidth;
+    if (cfg_.small_write_penalty > 0 &&
+        (roff % cfg_.page_size != 0 || rlen < cfg_.page_size)) {
+      duration += cfg_.small_write_penalty;  // page read-modify-write
+    }
+    const SimTime end =
+        osts_[static_cast<std::size_t>(ost)].serveDuration(
+            t + cfg_.rpc_latency, duration) +
+        cfg_.rpc_latency;
+    caches_[static_cast<std::size_t>(ost)].insert(inode, roff, rlen);
+    if (trace_ != nullptr) trace_->record(client, t, end, "fs.write", rlen);
+    done = std::max(done, end);
+  });
+  ino.store.write(off, data);
+  return done;
+}
+
+SimTime Filesystem::read(int client, SimTime t, int inode, Offset off,
+                         std::span<std::byte> out) {
+  Inode& ino = inodeAt(inode);
+  const Bytes n = static_cast<Bytes>(out.size());
+  if (n == 0) return t;
+  SimTime done = t;
+  forEachOstRun(ino, off, n, [&](int ost, Offset roff, Bytes rlen) {
+    ++stats_.read_requests;
+    stats_.bytes_read += rlen;
+    auto& cache = caches_[static_cast<std::size_t>(ost)];
+    const Bytes resident = cache.residentBytes(inode, roff, rlen);
+    stats_.bytes_read_from_cache += resident;
+    const LockManager::Cost lock = ino.locks->acquireRead(client, roff, rlen);
+    const SimTime base_overhead = resident == rlen
+                                      ? cfg_.cache_hit_overhead
+                                      : cfg_.ost_request_overhead;
+    const SimTime duration =
+        base_overhead + lock.delay +
+        static_cast<double>(resident) / cfg_.cache_read_bandwidth +
+        static_cast<double>(rlen - resident) / cfg_.ost_read_bandwidth;
+    const SimTime end =
+        osts_[static_cast<std::size_t>(ost)].serveDuration(
+            t + cfg_.rpc_latency, duration) +
+        cfg_.rpc_latency;
+    cache.insert(inode, roff, rlen);  // disk reads populate the cache too
+    if (trace_ != nullptr) trace_->record(client, t, end, "fs.read", rlen);
+    done = std::max(done, end);
+  });
+  ino.store.read(off, out);
+  return done;
+}
+
+SimTime Filesystem::close(int client, SimTime t, int inode) {
+  (void)client;
+  inodeAt(inode);  // validity check
+  return mds_.serveDuration(t + cfg_.rpc_latency, cfg_.mds_open / 4) +
+         cfg_.rpc_latency;
+}
+
+Bytes Filesystem::fileSize(int inode) const { return inodeAt(inode).store.size(); }
+
+bool Filesystem::exists(const std::string& name) const {
+  return names_.find(name) != names_.end();
+}
+
+void Filesystem::peek(const std::string& name, Offset off,
+                      std::span<std::byte> out) const {
+  const auto it = names_.find(name);
+  TCIO_CHECK_MSG(it != names_.end(), "peek: no such file: " + name);
+  inodeAt(it->second).store.read(off, out);
+}
+
+void Filesystem::pokeByte(const std::string& name, Offset off,
+                          std::byte value) {
+  const auto it = names_.find(name);
+  TCIO_CHECK_MSG(it != names_.end(), "pokeByte: no such file: " + name);
+  inodeAt(it->second).store.write(off, {&value, 1});
+}
+
+Bytes Filesystem::peekSize(const std::string& name) const {
+  const auto it = names_.find(name);
+  TCIO_CHECK_MSG(it != names_.end(), "peekSize: no such file: " + name);
+  return inodeAt(it->second).store.size();
+}
+
+std::int64_t Filesystem::revocations(const std::string& name) const {
+  const auto it = names_.find(name);
+  TCIO_CHECK_MSG(it != names_.end(), "revocations: no such file: " + name);
+  return inodeAt(it->second).locks->revocations();
+}
+
+}  // namespace tcio::fs

@@ -1,0 +1,137 @@
+// The simulated parallel file system: MDS + OSTs + lock manager + caches,
+// storing real bytes. Shared by all ranks; every costed operation must run
+// inside a Proc::atomic() section (the FsClient facade does that).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "fs/cache.h"
+#include "fs/config.h"
+#include "fs/lock_manager.h"
+#include "fs/store.h"
+#include "sim/timeline.h"
+#include "sim/trace.h"
+
+namespace tcio::fs {
+
+/// Open flags (POSIX-flavoured bitmask).
+enum OpenFlags : unsigned {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kCreate = 1u << 2,
+  kTruncate = 1u << 3,
+};
+
+/// Aggregate statistics for benches and tests.
+struct FsStats {
+  std::int64_t write_requests = 0;
+  std::int64_t read_requests = 0;
+  Bytes bytes_written = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_read_from_cache = 0;
+  std::int64_t lock_revocations = 0;
+  std::int64_t lock_grants = 0;
+  std::int64_t opens = 0;
+};
+
+/// Shared file system state + cost model.
+class Filesystem {
+ public:
+  explicit Filesystem(FsConfig cfg);
+
+  const FsConfig& config() const { return cfg_; }
+
+  // All of the following return the virtual completion time and must be
+  // called inside an atomic section. `client` identifies the calling rank
+  // for lock ownership purposes; `t` is the caller's current virtual time.
+
+  /// Opens (optionally creating/truncating) a file; returns its inode.
+  struct OpenResult {
+    int inode = -1;
+    SimTime done = 0;
+  };
+  OpenResult open(int client, SimTime t, const std::string& name,
+                  unsigned flags, int stripe_count = 0);
+
+  SimTime write(int client, SimTime t, int inode, Offset off,
+                std::span<const std::byte> data);
+  SimTime read(int client, SimTime t, int inode, Offset off,
+               std::span<std::byte> out);
+  SimTime close(int client, SimTime t, int inode);
+
+  /// File size in bytes (costless metadata peek for the layers above).
+  Bytes fileSize(int inode) const;
+
+  // -- Test/verification helpers (no cost, no locking semantics) -----------
+  bool exists(const std::string& name) const;
+  /// Reads file contents directly from the store.
+  void peek(const std::string& name, Offset off, std::span<std::byte> out) const;
+  Bytes peekSize(const std::string& name) const;
+  /// Corrupts one stored byte (fault-injection for integrity tests).
+  void pokeByte(const std::string& name, Offset off, std::byte value);
+
+  /// Snapshot of counters (lock stats aggregated over all files).
+  FsStats stats() const {
+    FsStats s = stats_;
+    for (const auto& ip : inodes_) {
+      s.lock_revocations += ip->locks->revocations();
+      s.lock_grants += ip->locks->grants();
+    }
+    return s;
+  }
+  /// Lock revocations of one file (ping-pong metric).
+  std::int64_t revocations(const std::string& name) const;
+
+  /// Failure injection: the N-th subsequent write request throws FsError.
+  void injectWriteFault(std::int64_t after_requests) {
+    write_fault_in_ = after_requests;
+  }
+
+  /// Optional event trace: every OST request is recorded as "fs.write" /
+  /// "fs.read" with the requesting client as the rank (not owned).
+  void setTrace(sim::Trace* trace) { trace_ = trace; }
+
+ private:
+  struct Inode {
+    std::string name;
+    SparseStore store;
+    std::unique_ptr<LockManager> locks;
+    int stripe_count = 1;
+    int start_ost = 0;
+  };
+
+  /// OST serving [off, off+len) of a file.
+  int ostOf(const Inode& ino, Offset off) const {
+    const std::int64_t chunk = off / cfg_.stripe_size;
+    return (ino.start_ost + static_cast<int>(chunk % ino.stripe_count)) %
+           cfg_.num_osts;
+  }
+
+  Inode& inodeAt(int inode);
+  const Inode& inodeAt(int inode) const;
+
+  /// Splits [off, off+n) into maximal runs served by a single OST and calls
+  /// fn(ost, run_off, run_len) for each.
+  template <typename F>
+  void forEachOstRun(const Inode& ino, Offset off, Bytes n, F&& fn) const;
+
+  FsConfig cfg_;
+  std::map<std::string, int> names_;
+  std::vector<std::unique_ptr<Inode>> inodes_;
+  sim::Timeline mds_;
+  std::vector<sim::Timeline> osts_;
+  std::vector<ServerCache> caches_;
+  int next_start_ost_ = 0;
+  FsStats stats_;
+  std::int64_t write_fault_in_ = -1;
+  sim::Trace* trace_ = nullptr;
+};
+
+}  // namespace tcio::fs

@@ -1,0 +1,62 @@
+#include "fs/lock_manager.h"
+
+#include <algorithm>
+
+namespace tcio::fs {
+
+LockManager::Cost LockManager::acquireWrite(int client, Offset off, Bytes n) {
+  Cost cost;
+  const std::int64_t first = off / cfg_->stripe_size;
+  const std::int64_t last = (off + n - 1) / cfg_->stripe_size;
+  for (std::int64_t u = first; u <= last; ++u) {
+    Unit& un = units_[u];
+    if (un.write_owner == client && un.read_holders.empty()) {
+      continue;  // already own it exclusively — free
+    }
+    if (un.write_owner != -1 && un.write_owner != client) {
+      cost.delay += cfg_->lock_revoke;  // call back the previous writer
+      cost.revoked = true;
+      ++revocations_;
+    }
+    // Readers must be called back too (one aggregate revoke charge).
+    if (!un.read_holders.empty() &&
+        !(un.read_holders.size() == 1 && un.read_holders[0] == client)) {
+      cost.delay += cfg_->lock_revoke;
+      cost.revoked = true;
+      ++revocations_;
+    }
+    un.read_holders.clear();
+    un.write_owner = client;
+    cost.delay += cfg_->lock_grant;
+    ++grants_;
+  }
+  return cost;
+}
+
+LockManager::Cost LockManager::acquireRead(int client, Offset off, Bytes n) {
+  Cost cost;
+  if (n <= 0) return cost;
+  const std::int64_t first = off / cfg_->stripe_size;
+  const std::int64_t last = (off + n - 1) / cfg_->stripe_size;
+  for (std::int64_t u = first; u <= last; ++u) {
+    Unit& un = units_[u];
+    if (un.write_owner != -1 && un.write_owner != client) {
+      // Flush the writer's dirty data and downgrade its lock.
+      cost.delay += cfg_->lock_revoke;
+      cost.revoked = true;
+      ++revocations_;
+      un.write_owner = -1;
+    }
+    const bool already =
+        std::find(un.read_holders.begin(), un.read_holders.end(), client) !=
+        un.read_holders.end();
+    if (!already) {
+      un.read_holders.push_back(client);
+      cost.delay += cfg_->lock_grant;
+      ++grants_;
+    }
+  }
+  return cost;
+}
+
+}  // namespace tcio::fs

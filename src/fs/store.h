@@ -1,0 +1,44 @@
+// Sparse byte store backing simulated files.
+//
+// Stores real data so every layer above can be verified end-to-end. Pages
+// are allocated lazily; holes read back as zero (POSIX semantics).
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace tcio::fs {
+
+/// Page-granular sparse storage for one file's contents.
+class SparseStore {
+ public:
+  static constexpr Bytes kPageSize = 64_KiB;
+
+  void write(Offset off, std::span<const std::byte> data);
+  void read(Offset off, std::span<std::byte> out) const;
+
+  /// Highest written offset + 1 (0 for an empty file).
+  Bytes size() const { return size_; }
+
+  /// Drops all contents (truncate to zero).
+  void clear() {
+    pages_.clear();
+    size_ = 0;
+  }
+
+  /// Bytes of actually allocated pages (for memory accounting in tests).
+  Bytes allocatedBytes() const {
+    return static_cast<Bytes>(pages_.size()) * kPageSize;
+  }
+
+ private:
+  std::map<std::int64_t, std::vector<std::byte>> pages_;
+  Bytes size_ = 0;
+};
+
+}  // namespace tcio::fs

@@ -1,0 +1,450 @@
+#include "mpi/comm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+namespace tcio::mpi {
+
+namespace {
+
+bool matches(const detail::PendingRecv& pr, Rank src, int tag, int context) {
+  return pr.context == context &&
+         (pr.want_src == kAnySource || pr.want_src == src) &&
+         (pr.want_tag == kAnyTag || pr.want_tag == tag);
+}
+
+}  // namespace
+
+// -- Point-to-point (core logic runs inside atomic sections) -----------------
+
+namespace {
+
+/// Send logic; requires the caller to be inside an atomic section.
+/// `src` is the sender's rank within the communicator identified by
+/// `context`; `world_src`/`world_dst` address the physical network.
+/// Returns the time the sender's CPU is free.
+SimTime sendLocked(World& world, sim::Proc& proc, int context, Rank src,
+                   Rank world_src, Rank world_dst, int tag, const void* buf,
+                   Bytes n) {
+  TCIO_CHECK_MSG(world_dst >= 0 && world_dst < world.numRanks(),
+                 "send to invalid rank");
+  TCIO_CHECK(n >= 0);
+  const net::TransferTimes times =
+      world.network().transfer(proc.now(), world_src, world_dst, n);
+  detail::Mailbox& mb = world.mailbox(world_dst);
+  // Try to match an already-posted receive (FIFO order, MPI matching rules).
+  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+    detail::PendingRecv& pr = **it;
+    if (!matches(pr, src, tag, context)) continue;
+    TCIO_CHECK_MSG(n <= pr.capacity, "message truncation in recv");
+    if (n > 0) std::memcpy(pr.buf, buf, static_cast<std::size_t>(n));
+    pr.src = src;
+    pr.tag = tag;
+    pr.received = n;
+    proc.complete(pr.ev, times.delivered);
+    mb.posted.erase(it);
+    return times.sender_free;
+  }
+  // No receiver yet: stash as an unexpected message.
+  detail::Envelope env;
+  env.src = src;
+  env.tag = tag;
+  env.context = context;
+  env.delivered = times.delivered;
+  if (n > 0) {
+    env.data.assign(static_cast<const std::byte*>(buf),
+                    static_cast<const std::byte*>(buf) + n);
+  }
+  mb.unexpected.push_back(std::move(env));
+  return times.sender_free;
+}
+
+/// Receive-posting logic; requires an atomic section. Returns true when an
+/// unexpected message matched immediately (pr filled, event completed).
+bool postRecvLocked(World& world, sim::Proc& proc, Rank world_dst,
+                    std::shared_ptr<detail::PendingRecv> pr) {
+  detail::Mailbox& mb = world.mailbox(world_dst);
+  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+    if (it->context != pr->context ||
+        (pr->want_src != kAnySource && pr->want_src != it->src) ||
+        (pr->want_tag != kAnyTag && pr->want_tag != it->tag)) {
+      continue;
+    }
+    const Bytes n = static_cast<Bytes>(it->data.size());
+    TCIO_CHECK_MSG(n <= pr->capacity, "message truncation in recv");
+    if (n > 0) std::memcpy(pr->buf, it->data.data(), it->data.size());
+    pr->src = it->src;
+    pr->tag = it->tag;
+    pr->received = n;
+    proc.complete(pr->ev, it->delivered);
+    mb.unexpected.erase(it);
+    return true;
+  }
+  mb.posted.push_back(std::move(pr));
+  return false;
+}
+
+}  // namespace
+
+void Comm::send(const void* buf, Bytes n, Rank dst, int tag) {
+  sim::Proc& p = *proc_;
+  const SimTime free_at = p.atomic([&] {
+    return sendLocked(*world_, p, context_, rank_, p.rank(), worldRank(dst),
+                      tag, buf, n);
+  });
+  p.advanceTo(free_at);
+}
+
+RecvStatus Comm::recv(void* buf, Bytes capacity, Rank src, int tag) {
+  Request req = irecv(buf, capacity, src, tag);
+  return wait(req);
+}
+
+Request Comm::isend(const void* buf, Bytes n, Rank dst, int tag) {
+  sim::Proc& p = *proc_;
+  auto st = std::make_shared<detail::ReqState>();
+  p.atomic([&] {
+    const SimTime free_at = sendLocked(*world_, p, context_, rank_, p.rank(),
+                                       worldRank(dst), tag, buf, n);
+    p.complete(st->ev, free_at);
+  });
+  return Request(std::move(st));
+}
+
+Request Comm::irecv(void* buf, Bytes capacity, Rank src, int tag) {
+  sim::Proc& p = *proc_;
+  auto st = std::make_shared<detail::ReqState>();
+  st->recv = std::make_shared<detail::PendingRecv>();
+  st->recv->want_src = src;
+  st->recv->want_tag = tag;
+  st->recv->context = context_;
+  st->recv->buf = static_cast<std::byte*>(buf);
+  st->recv->capacity = capacity;
+  auto& pr_ev_owner = st->recv;  // keep alive until matched
+  p.atomic([&] {
+    if (postRecvLocked(*world_, p, p.rank(), pr_ev_owner)) {
+      p.complete(st->ev, pr_ev_owner->ev.time());
+    }
+  });
+  return Request(std::move(st));
+}
+
+RecvStatus Comm::wait(Request& req) {
+  TCIO_CHECK_MSG(req.valid(), "wait on an empty Request");
+  detail::ReqState& st = *req.state_;
+  if (st.recv != nullptr) {
+    // Wait on the underlying receive event (the request-level event is only
+    // completed for immediate matches).
+    proc_->wait(st.recv->ev, "MPI_Recv");
+    RecvStatus status{st.recv->src, st.recv->tag, st.recv->received};
+    req.state_.reset();
+    return status;
+  }
+  proc_->wait(st.ev, "MPI_Send");
+  req.state_.reset();
+  return {};
+}
+
+void Comm::waitAll(std::span<Request> reqs) {
+  for (Request& r : reqs) {
+    if (r.valid()) wait(r);
+  }
+}
+
+// -- Communicator management --------------------------------------------------
+
+Comm Comm::split(int color, int key) {
+  const int P = size();
+  // Gather (color, key) from every rank of this communicator.
+  struct Entry {
+    int color;
+    int key;
+    Rank rank;  // rank within the parent communicator
+  };
+  const Entry mine{color, key, rank_};
+  std::vector<Entry> all(static_cast<std::size_t>(P));
+  allgather(&mine, sizeof(Entry), all.data());
+  // Distinct colors, sorted, define the new context ids deterministically.
+  std::vector<int> colors;
+  for (const Entry& e : all) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  // Rank 0 of the parent allocates one context per color and broadcasts.
+  int base = 0;
+  if (rank_ == 0) {
+    proc_->atomic([&] {
+      base = world_->allocateContexts(static_cast<int>(colors.size()));
+    });
+  }
+  bcast(&base, sizeof(base), 0);
+  const auto color_index = static_cast<int>(
+      std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+  // Members of my color, ordered by (key, parent rank), as world ranks.
+  std::vector<Entry> members;
+  for (const Entry& e : all) {
+    if (e.color == color) members.push_back(e);
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+  });
+  std::vector<Rank> group;
+  Rank my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    group.push_back(worldRank(members[i].rank));
+    if (members[i].rank == rank_) my_new_rank = static_cast<Rank>(i);
+  }
+  TCIO_CHECK(my_new_rank >= 0);
+  return Comm(*world_, *proc_, std::move(group), my_new_rank,
+              base + color_index);
+}
+
+// -- Collectives --------------------------------------------------------------
+
+void Comm::barrier() {
+  const int P = size();
+  const int tag = nextCollectiveTag();
+  int round = 0;
+  for (int step = 1; step < P; step <<= 1, ++round) {
+    const Rank dst = (rank_ + step) % P;
+    const Rank src = (rank_ - step % P + P) % P;
+    Request s = isend(nullptr, 0, dst, tag + round);
+    recv(nullptr, 0, src, tag + round);
+    wait(s);
+  }
+}
+
+void Comm::bcast(void* buf, Bytes n, Rank root) {
+  const int P = size();
+  if (P == 1) return;
+  const int tag = nextCollectiveTag();
+  const int vr = (rank_ - root + P) % P;
+  int mask = 1;
+  while (mask < P) {
+    if ((vr & mask) != 0) {
+      const Rank src = ((vr - mask) + root) % P;
+      recv(buf, n, src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < P) {
+      const Rank dst = ((vr + mask) + root) % P;
+      send(buf, n, dst, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduceBytes(void* data, Bytes n,
+                       const std::function<void(void*, const void*)>& combine,
+                       Rank root) {
+  const int P = size();
+  if (P == 1) return;
+  const int tag = nextCollectiveTag();
+  std::vector<std::byte> scratch(static_cast<std::size_t>(n));
+  // Binomial reduce along virtual ranks rooted at `root`.
+  const int vr = (rank_ - root + P) % P;
+  int mask = 1;
+  while (mask < P) {
+    if ((vr & mask) == 0) {
+      const int vpeer = vr | mask;
+      if (vpeer < P) {
+        recv(scratch.data(), n, (vpeer + root) % P, tag);
+        combine(data, scratch.data());
+        chargeCopy(n);
+      }
+    } else {
+      const int vpeer = vr & ~mask;
+      send(data, n, (vpeer + root) % P, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::allreduceBytes(
+    void* data, Bytes n,
+    const std::function<void(void*, const void*)>& combine) {
+  reduceBytes(data, n, combine, /*root=*/0);
+  bcast(data, n, /*root=*/0);
+}
+
+void Comm::gather(const void* mine, Bytes per, void* out, Rank root) {
+  const int tag = nextCollectiveTag();
+  if (rank_ == root) {
+    auto* dst = static_cast<std::byte*>(out);
+    std::memcpy(dst + static_cast<std::size_t>(rank_) * per, mine,
+                static_cast<std::size_t>(per));
+    chargeCopy(per);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      recv(dst + static_cast<std::size_t>(r) * per, per, r, tag);
+    }
+  } else {
+    send(mine, per, root, tag);
+  }
+}
+
+void Comm::scatter(const void* in, Bytes per, void* mine, Rank root) {
+  const int tag = nextCollectiveTag();
+  if (rank_ == root) {
+    const auto* src = static_cast<const std::byte*>(in);
+    std::vector<Request> reqs;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      reqs.push_back(
+          isend(src + static_cast<std::size_t>(r) * per, per, r, tag));
+    }
+    std::memcpy(mine, src + static_cast<std::size_t>(root) * per,
+                static_cast<std::size_t>(per));
+    chargeCopy(per);
+    waitAll(reqs);
+  } else {
+    recv(mine, per, root, tag);
+  }
+}
+
+RecvStatus Comm::sendrecv(const void* sendbuf, Bytes send_n, Rank dst,
+                          int send_tag, void* recvbuf, Bytes recv_cap,
+                          Rank src, int recv_tag) {
+  Request s = isend(sendbuf, send_n, dst, send_tag);
+  const RecvStatus st = recv(recvbuf, recv_cap, src, recv_tag);
+  wait(s);
+  return st;
+}
+
+void Comm::sendTyped(const void* buf, std::int64_t count,
+                     const mpi::Datatype& type, Rank dst, int tag) {
+  TCIO_CHECK_MSG(type.valid(), "sendTyped with invalid datatype");
+  std::vector<Extent> layout;
+  type.flatten(0, count, layout);
+  std::vector<std::byte> packed;
+  packed.reserve(static_cast<std::size_t>(count * type.size()));
+  const auto* base = static_cast<const std::byte*>(buf);
+  for (const Extent& e : layout) {
+    packed.insert(packed.end(), base + e.begin, base + e.end);
+  }
+  chargeCopy(static_cast<Bytes>(packed.size()));
+  send(packed.data(), static_cast<Bytes>(packed.size()), dst, tag);
+}
+
+RecvStatus Comm::recvTyped(void* buf, std::int64_t count,
+                           const mpi::Datatype& type, Rank src, int tag) {
+  TCIO_CHECK_MSG(type.valid(), "recvTyped with invalid datatype");
+  std::vector<Extent> layout;
+  type.flatten(0, count, layout);
+  const Bytes total = count * type.size();
+  std::vector<std::byte> packed(static_cast<std::size_t>(total));
+  const RecvStatus st = recv(packed.data(), total, src, tag);
+  TCIO_CHECK_MSG(st.count == total, "recvTyped: short message");
+  auto* base = static_cast<std::byte*>(buf);
+  Offset cursor = 0;
+  for (const Extent& e : layout) {
+    std::memcpy(base + e.begin, packed.data() + cursor,
+                static_cast<std::size_t>(e.size()));
+    cursor += e.size();
+  }
+  chargeCopy(total);
+  return st;
+}
+
+void Comm::allgather(const void* mine, Bytes per, void* out) {
+  const int P = size();
+  auto* dst = static_cast<std::byte*>(out);
+  std::memcpy(dst + static_cast<std::size_t>(rank_) * per, mine,
+              static_cast<std::size_t>(per));
+  chargeCopy(per);
+  if (P == 1) return;
+  const int tag = nextCollectiveTag();
+  const Rank right = (rank_ + 1) % P;
+  const Rank left = (rank_ - 1 + P) % P;
+  int cur = rank_;  // block we forward next
+  for (int step = 0; step < P - 1; ++step) {
+    const int incoming = (cur - 1 + P) % P;
+    Request s = isend(dst + static_cast<std::size_t>(cur) * per, per, right,
+                      tag + (step % 32));
+    recv(dst + static_cast<std::size_t>(incoming) * per, per, left,
+         tag + (step % 32));
+    wait(s);
+    cur = incoming;
+  }
+}
+
+void Comm::allgatherv(const void* mine, Bytes n,
+                      std::vector<std::vector<std::byte>>& out) {
+  const int P = size();
+  std::vector<Bytes> counts(static_cast<std::size_t>(P), 0);
+  allgather(&n, sizeof(Bytes), counts.data());
+  out.assign(static_cast<std::size_t>(P), {});
+  for (int r = 0; r < P; ++r) {
+    auto& buf = out[static_cast<std::size_t>(r)];
+    buf.resize(static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]));
+    if (r == rank_ && n > 0) {
+      std::memcpy(buf.data(), mine, static_cast<std::size_t>(n));
+      chargeCopy(n);
+    }
+    if (!buf.empty()) bcast(buf.data(), static_cast<Bytes>(buf.size()), r);
+  }
+}
+
+void Comm::alltoallv(const void* sendbuf, std::span<const Bytes> sendcounts,
+                     std::span<const Offset> senddispls, void* recvbuf,
+                     std::span<const Bytes> recvcounts,
+                     std::span<const Offset> recvdispls) {
+  const int P = size();
+  TCIO_CHECK(static_cast<int>(sendcounts.size()) == P);
+  TCIO_CHECK(static_cast<int>(recvcounts.size()) == P);
+  const auto* sbase = static_cast<const std::byte*>(sendbuf);
+  auto* rbase = static_cast<std::byte*>(recvbuf);
+  const int tag = nextCollectiveTag();
+  sim::Proc& p = *proc_;
+
+  // Self-exchange is a local copy.
+  const auto self = static_cast<std::size_t>(rank_);
+  if (sendcounts[self] > 0) {
+    TCIO_CHECK(sendcounts[self] == recvcounts[self]);
+    std::memcpy(rbase + recvdispls[self], sbase + senddispls[self],
+                static_cast<std::size_t>(sendcounts[self]));
+    chargeCopy(sendcounts[self]);
+  }
+
+  // Post every receive, then every send, in one atomic section each — this
+  // is the synchronized burst the two-phase exchange creates in practice.
+  std::vector<std::shared_ptr<detail::PendingRecv>> pending;
+  pending.reserve(static_cast<std::size_t>(P));
+  p.atomic([&] {
+    for (int r = 0; r < P; ++r) {
+      if (r == rank_ || recvcounts[static_cast<std::size_t>(r)] == 0) continue;
+      auto pr = std::make_shared<detail::PendingRecv>();
+      pr->want_src = r;
+      pr->want_tag = tag;
+      pr->context = context_;
+      pr->buf = rbase + recvdispls[static_cast<std::size_t>(r)];
+      pr->capacity = recvcounts[static_cast<std::size_t>(r)];
+      if (!postRecvLocked(*world_, p, p.rank(), pr)) {
+        // keep handle to wait on; matched ones are already complete
+      }
+      pending.push_back(std::move(pr));
+    }
+  });
+  SimTime free_at = p.now();
+  p.atomic([&] {
+    for (int r = 0; r < P; ++r) {
+      if (r == rank_ || sendcounts[static_cast<std::size_t>(r)] == 0) continue;
+      const SimTime f = sendLocked(
+          *world_, p, context_, rank_, p.rank(), worldRank(r), tag,
+          sbase + senddispls[static_cast<std::size_t>(r)],
+          sendcounts[static_cast<std::size_t>(r)]);
+      free_at = std::max(free_at, f);
+    }
+  });
+  p.advanceTo(free_at);
+  for (auto& pr : pending) {
+    p.wait(pr->ev, "MPI_Alltoallv");
+  }
+}
+
+}  // namespace tcio::mpi

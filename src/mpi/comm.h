@@ -1,0 +1,204 @@
+// Per-rank communicator facade: point-to-point messaging and collectives
+// over the simulated network.
+//
+// Collectives are implemented on top of the same p2p primitives real MPI
+// libraries use (dissemination barrier, binomial broadcast/reduce, ring
+// allgather, fully-posted alltoallv), so their simulated cost scales the way
+// the paper's arguments require (log P control collectives, bursty all-to-all
+// data exchange).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "mpi/datatype.h"
+#include "mpi/request.h"
+#include "mpi/world.h"
+#include "sim/engine.h"
+
+namespace tcio::mpi {
+
+enum class ReduceOp { kSum, kMax, kMin, kBitOr };
+
+/// One rank's handle on a communicator. The constructor builds COMM_WORLD;
+/// `split` derives sub-communicators (MPI_Comm_split semantics). Cheap to
+/// pass by reference through the I/O stack.
+class Comm {
+ public:
+  Comm(World& world, sim::Proc& proc)
+      : world_(&world), proc_(&proc), rank_(proc.rank()),
+        size_(world.numRanks()) {}
+
+  /// This rank's id within the communicator.
+  Rank rank() const { return rank_; }
+  int size() const { return size_; }
+  /// Communicator context id (0 = COMM_WORLD).
+  int context() const { return context_; }
+
+  /// Simulation-global rank of communicator rank `r`.
+  Rank worldRank(Rank r) const {
+    TCIO_CHECK(r >= 0 && r < size_);
+    return group_.empty() ? r : group_[static_cast<std::size_t>(r)];
+  }
+
+  sim::Proc& proc() { return *proc_; }
+  World& world() { return *world_; }
+
+  /// Per-rank simulated memory budget.
+  MemoryTracker& memory() { return world_->memory(proc_->rank()); }
+
+  /// Collective MPI_Comm_split: ranks passing the same `color` form a new
+  /// communicator, ordered by (key, old rank). Every rank of this
+  /// communicator must call it.
+  Comm split(int color, int key);
+
+  // -- Point-to-point --------------------------------------------------------
+
+  /// Blocking standard-mode send (buffered semantics: returns once the NIC
+  /// accepted the message).
+  void send(const void* buf, Bytes n, Rank dst, int tag);
+
+  /// Blocking receive. `src` may be kAnySource, `tag` may be kAnyTag.
+  RecvStatus recv(void* buf, Bytes capacity, Rank src, int tag);
+
+  /// Nonblocking variants.
+  Request isend(const void* buf, Bytes n, Rank dst, int tag);
+  Request irecv(void* buf, Bytes capacity, Rank src, int tag);
+
+  /// Combined send+receive without deadlock (MPI_Sendrecv).
+  RecvStatus sendrecv(const void* sendbuf, Bytes send_n, Rank dst,
+                      int send_tag, void* recvbuf, Bytes recv_cap, Rank src,
+                      int recv_tag);
+
+  /// Typed send/recv: packs `count` instances of a (possibly
+  /// non-contiguous) datatype from user memory, charging pack time
+  /// (MPI_Send with a derived datatype).
+  void sendTyped(const void* buf, std::int64_t count,
+                 const mpi::Datatype& type, Rank dst, int tag);
+  RecvStatus recvTyped(void* buf, std::int64_t count,
+                       const mpi::Datatype& type, Rank src, int tag);
+
+  /// Completes one request; returns the receive status (zeros for sends).
+  RecvStatus wait(Request& req);
+  void waitAll(std::span<Request> reqs);
+
+  // -- Collectives -----------------------------------------------------------
+
+  /// Dissemination barrier: ceil(log2 P) zero-byte exchange rounds.
+  void barrier();
+
+  /// Binomial-tree broadcast of `n` bytes from `root`.
+  void bcast(void* buf, Bytes n, Rank root);
+
+  /// Binomial reduce to `root` + binomial broadcast (works for any P).
+  /// `combine(acc, in)` folds `count` elements of T.
+  template <typename T>
+  void allreduce(T* data, std::int64_t count, ReduceOp op) {
+    allreduceBytes(data, count * static_cast<Bytes>(sizeof(T)),
+                   [op, count](void* acc, const void* in) {
+                     combineTyped<T>(static_cast<T*>(acc),
+                                     static_cast<const T*>(in), count, op);
+                   });
+  }
+
+  /// Binomial reduce of `count` T elements to `root`.
+  template <typename T>
+  void reduce(T* data, std::int64_t count, ReduceOp op, Rank root) {
+    reduceBytes(data, count * static_cast<Bytes>(sizeof(T)),
+                [op, count](void* acc, const void* in) {
+                  combineTyped<T>(static_cast<T*>(acc),
+                                  static_cast<const T*>(in), count, op);
+                },
+                root);
+  }
+
+  /// Gather `per` bytes from every rank to `root`'s `out` (rank order).
+  void gather(const void* mine, Bytes per, void* out, Rank root);
+
+  /// Scatter `per` bytes per rank from `root`'s `in` to every rank.
+  void scatter(const void* in, Bytes per, void* mine, Rank root);
+
+  /// Ring allgather: every rank contributes `per` bytes; `out` receives
+  /// P*per bytes ordered by rank.
+  void allgather(const void* mine, Bytes per, void* out);
+
+  /// Variable-size allgather: every rank contributes `n` bytes; `out[r]`
+  /// receives rank r's contribution (implemented as a count allgather plus
+  /// one broadcast per rank — log P rounds each).
+  void allgatherv(const void* mine, Bytes n,
+                  std::vector<std::vector<std::byte>>& out);
+
+  /// Fully-posted all-to-all exchange with per-peer counts: the access
+  /// pattern of ROMIO's two-phase data exchange (irecv all, isend all,
+  /// waitall) — deliberately bursty.
+  /// send/recv displacements are byte offsets into the respective buffers.
+  void alltoallv(const void* sendbuf, std::span<const Bytes> sendcounts,
+                 std::span<const Offset> senddispls, void* recvbuf,
+                 std::span<const Bytes> recvcounts,
+                 std::span<const Offset> recvdispls);
+
+  /// Charge local memory-copy time for `n` bytes (pack/unpack costs).
+  void chargeCopy(Bytes n) {
+    proc_->advance(static_cast<double>(n) / world_->config().memcpy_bandwidth);
+  }
+
+  /// Next internal tag block for a collective operation (per-rank counter;
+  /// MPI semantics require identical collective call order on all ranks).
+  int nextCollectiveTag() {
+    const int seq = coll_seq_++;
+    return kInternalTagBase + (seq % (1 << 16)) * 64;
+  }
+
+  /// Number of window-create calls so far (identifies windows collectively).
+  std::size_t nextWindowSeq() { return win_seq_++; }
+
+ private:
+  void reduceBytes(void* data, Bytes n,
+                   const std::function<void(void*, const void*)>& combine,
+                   Rank root);
+
+  /// Sub-communicator constructor (used by split).
+  Comm(World& world, sim::Proc& proc, std::vector<Rank> group, Rank rank,
+       int context)
+      : world_(&world), proc_(&proc), rank_(rank),
+        size_(static_cast<int>(group.size())), context_(context),
+        group_(std::move(group)) {}
+
+  void allreduceBytes(void* data, Bytes n,
+                      const std::function<void(void*, const void*)>& combine);
+
+  template <typename T>
+  static void combineTyped(T* acc, const T* in, std::int64_t count,
+                           ReduceOp op) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      switch (op) {
+        case ReduceOp::kSum: acc[i] = acc[i] + in[i]; break;
+        case ReduceOp::kMax: acc[i] = acc[i] < in[i] ? in[i] : acc[i]; break;
+        case ReduceOp::kMin: acc[i] = in[i] < acc[i] ? in[i] : acc[i]; break;
+        case ReduceOp::kBitOr:
+          if constexpr (std::is_integral_v<T>) {
+            acc[i] = acc[i] | in[i];
+          } else {
+            throw MpiError("kBitOr requires an integral type");
+          }
+          break;
+      }
+    }
+  }
+
+  World* world_;
+  sim::Proc* proc_;
+  Rank rank_;
+  int size_;
+  int context_ = 0;
+  /// Communicator rank -> world rank; empty means identity (COMM_WORLD).
+  std::vector<Rank> group_;
+  int coll_seq_ = 0;
+  std::size_t win_seq_ = 0;
+};
+
+}  // namespace tcio::mpi

@@ -1,0 +1,9 @@
+// Umbrella header for the simulated MPI substrate.
+#pragma once
+
+#include "mpi/comm.h"      // IWYU pragma: export
+#include "mpi/datatype.h"  // IWYU pragma: export
+#include "mpi/request.h"   // IWYU pragma: export
+#include "mpi/rma.h"       // IWYU pragma: export
+#include "mpi/runtime.h"   // IWYU pragma: export
+#include "mpi/world.h"     // IWYU pragma: export

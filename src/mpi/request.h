@@ -1,0 +1,43 @@
+// Nonblocking-operation handles (MPI_Request analogue).
+#pragma once
+
+#include <memory>
+
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace tcio::mpi {
+
+/// Completion info of a receive (MPI_Status analogue).
+struct RecvStatus {
+  Rank source = -1;
+  int tag = 0;
+  Bytes count = 0;
+};
+
+namespace detail {
+struct PendingRecv;
+
+struct ReqState {
+  sim::Event ev;
+  /// Set for receives; null for sends.
+  std::shared_ptr<PendingRecv> recv;
+};
+}  // namespace detail
+
+/// Movable handle for an in-flight isend/irecv. `Comm::wait`/`waitAll`
+/// complete it and (for receives) report the matched status.
+class Request {
+ public:
+  Request() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::ReqState> st)
+      : state_(std::move(st)) {}
+  std::shared_ptr<detail::ReqState> state_;
+};
+
+}  // namespace tcio::mpi

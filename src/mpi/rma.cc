@@ -1,0 +1,247 @@
+#include "mpi/rma.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tcio::mpi {
+
+namespace {
+
+/// Grants as many queued requests as the lock state allows; `t` is the
+/// virtual time the lock became available at the target. Must run inside an
+/// atomic section of the granting rank.
+void processQueueLocked(World& world, sim::Proc& p, detail::TargetLock& tl,
+                        Rank world_target, SimTime t) {
+  while (!tl.queue.empty()) {
+    detail::LockRequest& head = *tl.queue.front();
+    if (head.exclusive) {
+      if (tl.exclusive_held || tl.shared_holders > 0) return;
+      tl.exclusive_held = true;
+      const SimTime grant = std::max(t, head.arrived);
+      const SimTime reply =
+          world.network().control(grant, world_target, head.origin).delivered;
+      p.complete(head.ev, reply);
+      tl.queue.pop_front();
+      return;  // exclusive blocks everything behind it
+    }
+    // Shared: grant the whole consecutive run of shared requests.
+    if (tl.exclusive_held) return;
+    ++tl.shared_holders;
+    const SimTime grant = std::max(t, head.arrived);
+    const SimTime reply =
+        world.network().control(grant, world_target, head.origin).delivered;
+    p.complete(head.ev, reply);
+    tl.queue.pop_front();
+  }
+}
+
+}  // namespace
+
+Window Window::create(Comm& comm, Bytes local_size) {
+  TCIO_CHECK(local_size >= 0);
+  const std::size_t seq = comm.nextWindowSeq();
+  sim::Proc& p = comm.proc();
+  detail::WinState* ws = nullptr;
+  p.atomic([&] {
+    ws = &comm.world().windowAt(comm.context(), seq, comm.size());
+    ws->mem[static_cast<std::size_t>(comm.rank())].resize(
+        static_cast<std::size_t>(local_size));
+    ++ws->registered;
+  });
+  comm.memory().allocate(local_size, "RMA window (level-2 buffer)");
+  comm.barrier();  // all ranks registered before any access
+  return Window(comm, *ws);
+}
+
+std::byte* Window::localData() {
+  return state_->mem[static_cast<std::size_t>(comm_->rank())].data();
+}
+
+Bytes Window::localSize() const {
+  return static_cast<Bytes>(
+      state_->mem[static_cast<std::size_t>(comm_->rank())].size());
+}
+
+detail::TargetLock& Window::targetLock(Rank target) {
+  TCIO_CHECK_MSG(target >= 0 && target < comm_->size(),
+                 "lock target out of range");
+  return state_->locks[static_cast<std::size_t>(target)];
+}
+
+void Window::lock(LockType type, Rank target) {
+  TCIO_CHECK_MSG(held_.find(target) == held_.end(),
+                 "lock already held on this target");
+  sim::Proc& p = comm_->proc();
+  World& world = comm_->world();
+  auto req = std::make_shared<detail::LockRequest>();
+  req->origin = p.rank();  // world rank, for the grant reply
+  req->exclusive = (type == LockType::kExclusive);
+  p.atomic([&] {
+    const SimTime arrived =
+        world.network().control(p.now(), p.rank(), comm_->worldRank(target)).delivered +
+        world.config().lock_processing;
+    req->arrived = arrived;
+    detail::TargetLock& tl = targetLock(target);
+    const bool free_now =
+        tl.queue.empty() && !tl.exclusive_held &&
+        (!req->exclusive || tl.shared_holders == 0);
+    if (free_now) {
+      if (req->exclusive) {
+        tl.exclusive_held = true;
+      } else {
+        ++tl.shared_holders;
+      }
+      const SimTime reply =
+          world.network()
+              .control(arrived, comm_->worldRank(target), p.rank())
+              .delivered;
+      p.complete(req->ev, reply);
+    } else {
+      tl.queue.push_back(req);
+    }
+  });
+  p.wait(req->ev, "MPI_Win_lock");
+  held_[target] = Epoch{type, 0.0};
+  ++lock_count_;
+}
+
+void Window::unlock(Rank target) {
+  auto it = held_.find(target);
+  TCIO_CHECK_MSG(it != held_.end(), "unlock without a held lock");
+  const Epoch epoch = it->second;
+  held_.erase(it);
+  sim::Proc& p = comm_->proc();
+  World& world = comm_->world();
+  SimTime ack = 0;
+  p.atomic([&] {
+    // MPI_Win_unlock returns after every epoch transfer completed at the
+    // target; the release control message leaves after the last delivery.
+    const SimTime t = std::max(p.now(), epoch.last_delivery);
+    const SimTime release_arrived =
+        world.network().control(t, p.rank(), comm_->worldRank(target)).delivered +
+        world.config().lock_processing;
+    detail::TargetLock& tl = targetLock(target);
+    if (epoch.type == LockType::kExclusive) {
+      TCIO_CHECK(tl.exclusive_held);
+      tl.exclusive_held = false;
+    } else {
+      TCIO_CHECK(tl.shared_holders > 0);
+      --tl.shared_holders;
+    }
+    processQueueLocked(world, p, tl, comm_->worldRank(target),
+                       release_arrived);
+    ack = world.network()
+              .control(release_arrived, comm_->worldRank(target), p.rank())
+              .delivered;
+  });
+  p.advanceTo(ack);
+}
+
+void Window::requireLocked(Rank target) const {
+  TCIO_CHECK_MSG(held_.find(target) != held_.end(),
+                 "one-sided access outside a lock epoch");
+}
+
+void Window::put(Rank target, Offset target_disp, const void* src, Bytes n) {
+  const PutBlock b{target_disp, src, n};
+  putIndexed(target, std::span<const PutBlock>(&b, 1));
+}
+
+void Window::get(Rank target, Offset target_disp, void* dst, Bytes n) {
+  const GetBlock b{target_disp, dst, n};
+  getIndexed(target, std::span<const GetBlock>(&b, 1));
+}
+
+void Window::putIndexed(Rank target, std::span<const PutBlock> blocks) {
+  requireLocked(target);
+  sim::Proc& p = comm_->proc();
+  World& world = comm_->world();
+  Bytes total = 0;
+  for (const PutBlock& b : blocks) total += b.len;
+  comm_->chargeCopy(total);  // datatype pack
+  SimTime free_at = 0;
+  p.atomic([&] {
+    const net::TransferTimes times = world.network().transfer(
+        p.now(), p.rank(), comm_->worldRank(target), total, /*rdma=*/true);
+    auto& mem = state_->mem[static_cast<std::size_t>(target)];
+    for (const PutBlock& b : blocks) {
+      TCIO_CHECK_MSG(b.target_disp >= 0 &&
+                         b.target_disp + b.len <=
+                             static_cast<Bytes>(mem.size()),
+                     "put outside window bounds");
+      if (b.len > 0) {
+        std::memcpy(mem.data() + b.target_disp, b.src,
+                    static_cast<std::size_t>(b.len));
+      }
+    }
+    held_[target].last_delivery =
+        std::max(held_[target].last_delivery, times.delivered);
+    free_at = times.sender_free;
+  });
+  ++rma_messages_;
+  p.advanceTo(free_at);
+}
+
+void Window::getIndexed(Rank target, std::span<const GetBlock> blocks) {
+  requireLocked(target);
+  sim::Proc& p = comm_->proc();
+  World& world = comm_->world();
+  Bytes total = 0;
+  for (const GetBlock& b : blocks) total += b.len;
+  SimTime delivered = 0;
+  p.atomic([&] {
+    // The get request travels to the target, then data streams back.
+    const SimTime req_arrived =
+        world.network()
+            .control(p.now(), p.rank(), comm_->worldRank(target))
+            .delivered;
+    const net::TransferTimes times = world.network().transfer(
+        req_arrived, comm_->worldRank(target), p.rank(), total, /*rdma=*/true);
+    const auto& mem = state_->mem[static_cast<std::size_t>(target)];
+    for (const GetBlock& b : blocks) {
+      TCIO_CHECK_MSG(b.target_disp >= 0 &&
+                         b.target_disp + b.len <=
+                             static_cast<Bytes>(mem.size()),
+                     "get outside window bounds");
+      if (b.len > 0) {
+        std::memcpy(b.dst, mem.data() + b.target_disp,
+                    static_cast<std::size_t>(b.len));
+      }
+    }
+    delivered = times.delivered;
+  });
+  ++rma_messages_;
+  comm_->chargeCopy(total);  // datatype unpack
+  p.advanceTo(delivered);
+}
+
+void Window::accumulateBytes(
+    Rank target, Offset target_disp, const void* src, Bytes n,
+    const std::function<void(std::byte*, const std::byte*)>& combine) {
+  requireLocked(target);
+  sim::Proc& p = comm_->proc();
+  World& world = comm_->world();
+  comm_->chargeCopy(n);  // pack + target-side combine cost
+  SimTime free_at = 0;
+  p.atomic([&] {
+    const net::TransferTimes times = world.network().transfer(
+        p.now(), p.rank(), comm_->worldRank(target), n, /*rdma=*/true);
+    auto& mem = state_->mem[static_cast<std::size_t>(target)];
+    TCIO_CHECK_MSG(target_disp >= 0 &&
+                       target_disp + n <= static_cast<Bytes>(mem.size()),
+                   "accumulate outside window bounds");
+    combine(mem.data() + target_disp, static_cast<const std::byte*>(src));
+    held_[target].last_delivery =
+        std::max(held_[target].last_delivery, times.delivered);
+    free_at = times.sender_free;
+  });
+  ++rma_messages_;
+  p.advanceTo(free_at);
+}
+
+void Window::fence() {
+  TCIO_CHECK_MSG(held_.empty(), "fence with passive locks held");
+  comm_->barrier();
+}
+
+}  // namespace tcio::mpi

@@ -1,0 +1,36 @@
+#include "mpi/runtime.h"
+
+namespace tcio::mpi {
+
+JobResult runJob(JobConfig cfg, const std::function<void(Comm&)>& body) {
+  return runJob(std::move(cfg),
+                [&body](Comm& comm, World&) { body(comm); });
+}
+
+JobResult runJob(JobConfig cfg,
+                 const std::function<void(Comm&, World&)>& body) {
+  cfg.net.num_ranks = cfg.num_ranks;
+  sim::Engine::Config ecfg;
+  ecfg.num_ranks = cfg.num_ranks;
+  ecfg.seed = cfg.seed;
+  sim::Engine engine(ecfg);
+  net::Network network(cfg.net);
+  World world(engine, network, cfg.mpi);
+  if (cfg.memory_budget_per_rank > 0) {
+    for (Rank r = 0; r < cfg.num_ranks; ++r) {
+      world.memory(r).setBudget(cfg.memory_budget_per_rank);
+    }
+  }
+  engine.run([&](sim::Proc& proc) {
+    Comm comm(world, proc);
+    body(comm, world);
+  });
+  JobResult res;
+  res.makespan = engine.makespan();
+  res.engine_events = engine.eventCount();
+  res.network_messages = network.messageCount();
+  res.network_bytes = network.bytesMoved();
+  return res;
+}
+
+}  // namespace tcio::mpi

@@ -1,0 +1,40 @@
+// Job launcher: wires Engine + Network + World together and runs an SPMD
+// body, mirroring mpirun. Most tests, examples, and benches start here.
+#pragma once
+
+#include <functional>
+
+#include "mpi/comm.h"
+#include "mpi/world.h"
+#include "net/network.h"
+#include "sim/engine.h"
+
+namespace tcio::mpi {
+
+/// Aggregate configuration for a simulated job.
+struct JobConfig {
+  int num_ranks = 1;
+  std::uint64_t seed = 1;
+  net::NetworkConfig net;     // num_ranks is filled in automatically
+  MpiConfig mpi;
+  /// Per-rank memory budget; 0 = unlimited.
+  Bytes memory_budget_per_rank = 0;
+};
+
+/// Result of a run, for benches.
+struct JobResult {
+  SimTime makespan = 0;
+  std::int64_t engine_events = 0;
+  std::int64_t network_messages = 0;
+  Bytes network_bytes = 0;
+};
+
+/// Runs `body(comm)` on every rank of a fresh simulated job.
+/// Exceptions thrown by any rank propagate to the caller.
+JobResult runJob(JobConfig cfg, const std::function<void(Comm&)>& body);
+
+/// Overload giving the body access to the World (for FS attachment etc.).
+JobResult runJob(JobConfig cfg,
+                 const std::function<void(Comm&, World&)>& body);
+
+}  // namespace tcio::mpi

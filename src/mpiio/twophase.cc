@@ -1,0 +1,275 @@
+#include "mpiio/twophase.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/error.h"
+#include "common/memory_tracker.h"
+#include "mpi/datatype.h"
+#include "mpiio/domain.h"
+
+namespace tcio::io {
+
+namespace {
+
+/// Wire format of one access block in the metadata exchange.
+struct BlockMeta {
+  Offset off = 0;
+  Bytes len = 0;
+};
+static_assert(sizeof(BlockMeta) == 16);
+
+// Domain partitioning shared with the view-based path lives in domain.h.
+
+/// Allreduce of the aggregate file domain; returns false when no rank has
+/// any data (nothing to do, but every rank took part in the collective).
+bool computeDomain(mpi::Comm& comm, const CollectiveRequest& req,
+                   int cb_nodes, Domain& out) {
+  std::int64_t minmax[2];  // {-min, max} so one kMax allreduce handles both
+  if (req.extents.empty()) {
+    minmax[0] = std::numeric_limits<std::int64_t>::min();
+    minmax[1] = std::numeric_limits<std::int64_t>::min();
+  } else {
+    minmax[0] = -req.extents.front().begin;
+    minmax[1] = req.extents.back().end;
+  }
+  comm.allreduce(minmax, 2, mpi::ReduceOp::kMax);
+  if (minmax[1] == std::numeric_limits<std::int64_t>::min()) return false;
+  out = Domain::partition(-minmax[0], minmax[1], comm.size(), cb_nodes);
+  return true;
+}
+
+/// Per-destination split of this rank's request: block metadata plus (for
+/// writes) staged payload bytes, both in ascending offset order.
+struct SplitRequest {
+  std::vector<std::vector<BlockMeta>> meta;       // [dst]
+  std::vector<std::vector<std::byte>> payload;    // [dst], writes only
+};
+
+SplitRequest splitByAggregator(mpi::Comm& comm, const Domain& dom,
+                               const CollectiveRequest& req,
+                               bool stage_payload) {
+  const int P = comm.size();
+  SplitRequest split;
+  split.meta.resize(static_cast<std::size_t>(P));
+  split.payload.resize(static_cast<std::size_t>(P));
+  const std::byte* cursor = req.payload;
+  for (const Extent& e : req.extents) {
+    Offset cur = e.begin;
+    while (cur < e.end) {
+      const int agg = dom.aggregatorOf(cur);
+      TCIO_CHECK(agg >= 0 && agg < dom.num_agg);
+      const int dst = dom.aggRank(agg);
+      TCIO_CHECK(dst >= 0 && dst < P);
+      const Offset region_end = dom.regionOf(agg).end;
+      const Offset piece_end = std::min(e.end, region_end);
+      const Bytes len = piece_end - cur;
+      split.meta[static_cast<std::size_t>(dst)].push_back({cur, len});
+      if (stage_payload) {
+        auto& pay = split.payload[static_cast<std::size_t>(dst)];
+        pay.insert(pay.end(), cursor, cursor + len);
+      }
+      if (cursor != nullptr) cursor += len;
+      cur = piece_end;
+    }
+  }
+  return split;
+}
+
+/// Exchanges per-destination byte counts, then the variable-size buffers.
+/// Returns the received bytes per source plus their starting displacements.
+struct Exchanged {
+  std::vector<std::byte> data;
+  std::vector<Bytes> counts;    // per source
+  std::vector<Offset> displs;   // per source
+};
+
+Exchanged exchangeWithPeers(mpi::Comm& comm,
+                   const std::vector<std::vector<std::byte>>& per_dst) {
+  const int P = comm.size();
+  const auto sp = static_cast<std::size_t>(P);
+  // Step 1: counts.
+  std::vector<Bytes> scounts(sp), rcounts(sp);
+  std::vector<Offset> sdispls(sp), rdispls(sp);
+  std::vector<Bytes> size_s(sp), size_r(sp);
+  for (std::size_t i = 0; i < sp; ++i) {
+    size_s[i] = static_cast<Bytes>(per_dst[i].size());
+    scounts[i] = sizeof(Bytes);
+    rcounts[i] = sizeof(Bytes);
+    sdispls[i] = static_cast<Offset>(i * sizeof(Bytes));
+    rdispls[i] = static_cast<Offset>(i * sizeof(Bytes));
+  }
+  comm.alltoallv(size_s.data(), scounts, sdispls, size_r.data(), rcounts,
+                 rdispls);
+  // Step 2: the payload itself.
+  Bytes send_total = 0, recv_total = 0;
+  std::vector<std::byte> sendbuf;
+  for (std::size_t i = 0; i < sp; ++i) {
+    scounts[i] = size_s[i];
+    sdispls[i] = send_total;
+    send_total += size_s[i];
+    rcounts[i] = size_r[i];
+    rdispls[i] = recv_total;
+    recv_total += size_r[i];
+  }
+  sendbuf.reserve(static_cast<std::size_t>(send_total));
+  for (const auto& v : per_dst) sendbuf.insert(sendbuf.end(), v.begin(), v.end());
+  Exchanged out;
+  out.data.resize(static_cast<std::size_t>(recv_total));
+  out.counts = std::move(rcounts);
+  out.displs = std::move(rdispls);
+  comm.alltoallv(sendbuf.data(), scounts, sdispls, out.data.data(),
+                 out.counts, out.displs);
+  return out;
+}
+
+std::vector<std::vector<std::byte>> metaToBytes(
+    const std::vector<std::vector<BlockMeta>>& meta) {
+  std::vector<std::vector<std::byte>> out(meta.size());
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    out[i].resize(meta[i].size() * sizeof(BlockMeta));
+    if (!meta[i].empty()) {
+      std::memcpy(out[i].data(), meta[i].data(), out[i].size());
+    }
+  }
+  return out;
+}
+
+/// Union of received block extents, merged (overlap tolerated: concurrent
+/// writers to the same byte are a user race, last-writer-wins here).
+std::vector<Extent> coverage(const Exchanged& meta, int P) {
+  std::vector<Extent> runs;
+  for (int src = 0; src < P; ++src) {
+    const auto* blocks = reinterpret_cast<const BlockMeta*>(
+        meta.data.data() + meta.displs[static_cast<std::size_t>(src)]);
+    const std::size_t n =
+        static_cast<std::size_t>(meta.counts[static_cast<std::size_t>(src)]) /
+        sizeof(BlockMeta);
+    for (std::size_t i = 0; i < n; ++i) {
+      runs.push_back({blocks[i].off, blocks[i].off + blocks[i].len});
+    }
+  }
+  return mpi::normalizeOverlapping(std::move(runs));
+}
+
+}  // namespace
+
+TwoPhaseStats twoPhaseWrite(mpi::Comm& comm, fs::FsClient& fs,
+                            fs::FsFile& file, const CollectiveRequest& req,
+                            int cb_nodes) {
+  TwoPhaseStats stats;
+  Domain dom;
+  if (!computeDomain(comm, req, cb_nodes, dom)) return stats;
+  const int P = comm.size();
+
+  // Phase 1: shuffle data to aggregators.
+  SplitRequest split =
+      splitByAggregator(comm, dom, req, /*stage_payload=*/true);
+  Bytes staged = 0;
+  for (const auto& v : split.payload) staged += static_cast<Bytes>(v.size());
+  comm.chargeCopy(staged);
+  const Exchanged meta = exchangeWithPeers(comm, metaToBytes(split.meta));
+  const Exchanged payload = exchangeWithPeers(comm, split.payload);
+
+  // Phase 2: this rank, if an aggregator, assembles its region, writes it.
+  const Extent region = dom.regionOf(dom.aggIndexOf(comm.rank()));
+  const Bytes region_size = region.size();
+  stats.aggregator_buffer = region_size;
+  ScopedAllocation charge(comm.memory(), region_size,
+                          "OCIO aggregator (temporary) buffer");
+  std::vector<std::byte> buffer(static_cast<std::size_t>(region_size));
+  Bytes overlaid = 0;
+  for (int src = 0; src < P; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    const auto* blocks =
+        reinterpret_cast<const BlockMeta*>(meta.data.data() + meta.displs[s]);
+    const std::size_t nblocks =
+        static_cast<std::size_t>(meta.counts[s]) / sizeof(BlockMeta);
+    const std::byte* src_payload = payload.data.data() + payload.displs[s];
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      TCIO_CHECK(blocks[i].off >= region.begin &&
+                 blocks[i].off + blocks[i].len <= region.end);
+      std::memcpy(buffer.data() + (blocks[i].off - region.begin), src_payload,
+                  static_cast<std::size_t>(blocks[i].len));
+      src_payload += blocks[i].len;
+      overlaid += blocks[i].len;
+    }
+  }
+  comm.chargeCopy(overlaid);
+
+  for (const Extent& run : coverage(meta, P)) {
+    fs.pwrite(file, run.begin, buffer.data() + (run.begin - region.begin),
+              run.size());
+    ++stats.fs_requests;
+  }
+  return stats;
+}
+
+TwoPhaseStats twoPhaseRead(mpi::Comm& comm, fs::FsClient& fs,
+                           fs::FsFile& file, const CollectiveRequest& req,
+                           int cb_nodes) {
+  TwoPhaseStats stats;
+  Domain dom;
+  if (!computeDomain(comm, req, cb_nodes, dom)) return stats;
+  const int P = comm.size();
+
+  // Requests travel to aggregators.
+  SplitRequest split =
+      splitByAggregator(comm, dom, req, /*stage_payload=*/false);
+  const Exchanged meta = exchangeWithPeers(comm, metaToBytes(split.meta));
+
+  // Aggregator loads the union of requested runs in its region.
+  const Extent region = dom.regionOf(dom.aggIndexOf(comm.rank()));
+  const Bytes region_size = region.size();
+  stats.aggregator_buffer = region_size;
+  ScopedAllocation charge(comm.memory(), region_size,
+                          "OCIO aggregator (temporary) buffer");
+  std::vector<std::byte> buffer(static_cast<std::size_t>(region_size));
+  for (const Extent& run : coverage(meta, P)) {
+    fs.pread(file, run.begin, buffer.data() + (run.begin - region.begin),
+             run.size());
+    ++stats.fs_requests;
+  }
+
+  // Serve each requester its blocks, in its request order.
+  std::vector<std::vector<std::byte>> replies(static_cast<std::size_t>(P));
+  Bytes served = 0;
+  for (int src = 0; src < P; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    const auto* blocks =
+        reinterpret_cast<const BlockMeta*>(meta.data.data() + meta.displs[s]);
+    const std::size_t nblocks =
+        static_cast<std::size_t>(meta.counts[s]) / sizeof(BlockMeta);
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      const std::byte* from = buffer.data() + (blocks[i].off - region.begin);
+      replies[s].insert(replies[s].end(), from, from + blocks[i].len);
+      served += blocks[i].len;
+    }
+  }
+  comm.chargeCopy(served);
+  const Exchanged back = exchangeWithPeers(comm, replies);
+
+  // Scatter received bytes into the caller's payload, extent order. Pieces
+  // from aggregator j arrive in the same ascending-offset order we asked in.
+  std::vector<Offset> src_cursor(back.displs.begin(), back.displs.end());
+  std::byte* out = req.payload;
+  for (const Extent& e : req.extents) {
+    Offset cur = e.begin;
+    while (cur < e.end) {
+      const int agg = dom.aggregatorOf(cur);
+      const auto src_rank = static_cast<std::size_t>(dom.aggRank(agg));
+      const Offset piece_end = std::min(e.end, dom.regionOf(agg).end);
+      const Bytes len = piece_end - cur;
+      std::memcpy(out, back.data.data() + src_cursor[src_rank],
+                  static_cast<std::size_t>(len));
+      src_cursor[src_rank] += len;
+      out += len;
+      cur = piece_end;
+    }
+  }
+  comm.chargeCopy(static_cast<Bytes>(out - req.payload));
+  return stats;
+}
+
+}  // namespace tcio::io

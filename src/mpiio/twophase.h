@@ -1,0 +1,62 @@
+// Two-phase collective I/O — the paper's OCIO baseline, implemented the way
+// the paper describes ROMIO's behaviour:
+//
+//   write: allreduce the aggregate file domain [min, max); split it into P
+//   equal disjoint regions, one aggregator (= temporary buffer) per process;
+//   shuffle application data to aggregators with a fully-posted nonblocking
+//   all-to-all; each aggregator issues large contiguous writes for its
+//   region. Reads run the same protocol in reverse (aggregators act as I/O
+//   delegators).
+//
+// Faithfulness notes (see DESIGN.md):
+//   * every process is an aggregator, and the aggregator buffers its whole
+//     file domain — this is the memory behaviour that makes the paper's
+//     48 GB configuration fail, and it is charged against the per-rank
+//     memory budget;
+//   * holes in a write domain are handled by writing only the covered runs
+//     (no read-modify-write), which is byte-equivalent for non-overlapping
+//     workloads.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "fs/client.h"
+#include "mpi/comm.h"
+
+namespace tcio::io {
+
+/// One process's contribution to a collective operation: its view-mapped
+/// absolute extents (sorted) and, for writes, the matching payload in
+/// payload order.
+struct CollectiveRequest {
+  std::vector<Extent> extents;
+  /// Write: source payload bytes (extent order). Read: destination.
+  std::byte* payload = nullptr;
+};
+
+/// Statistics of one collective call (for tests and the paper's arguments).
+struct TwoPhaseStats {
+  Bytes aggregator_buffer = 0;  // temporary buffer charged on this rank
+  std::int64_t fs_requests = 0;
+};
+
+/// Collective write: all ranks must call together. `file` is this rank's
+/// open FS handle on the shared file.
+///
+/// `cb_nodes` enables collective buffering (the extension the paper's
+/// related-work section describes and its experiments disable): only
+/// `cb_nodes` evenly spread ranks act as aggregators, reducing file-system
+/// contention at the price of larger per-aggregator buffers. 0 = every
+/// rank aggregates (the paper's OCIO behaviour).
+TwoPhaseStats twoPhaseWrite(mpi::Comm& comm, fs::FsClient& fs,
+                            fs::FsFile& file, const CollectiveRequest& req,
+                            int cb_nodes = 0);
+
+/// Collective read.
+TwoPhaseStats twoPhaseRead(mpi::Comm& comm, fs::FsClient& fs,
+                           fs::FsFile& file, const CollectiveRequest& req,
+                           int cb_nodes = 0);
+
+}  // namespace tcio::io

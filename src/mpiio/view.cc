@@ -1,0 +1,75 @@
+#include "mpiio/view.h"
+
+#include "common/error.h"
+
+namespace tcio::io {
+
+FileView::FileView(Offset disp, mpi::Datatype etype, mpi::Datatype filetype)
+    : disp_(disp), etype_(std::move(etype)), filetype_(std::move(filetype)) {
+  TCIO_CHECK_MSG(disp_ >= 0, "negative view displacement");
+  TCIO_CHECK_MSG(etype_.valid() && filetype_.valid(),
+                 "view requires valid etype and filetype");
+  TCIO_CHECK_MSG(etype_.committed() && filetype_.committed(),
+                 "view requires committed datatypes (MPI_Type_commit)");
+  TCIO_CHECK_MSG(etype_.size() > 0, "zero-size etype");
+  TCIO_CHECK_MSG(filetype_.size() > 0, "zero-size filetype");
+  TCIO_CHECK_MSG(filetype_.size() % etype_.size() == 0,
+                 "filetype must be a multiple of etype");
+}
+
+Bytes FileView::tilePayload() const {
+  TCIO_CHECK_MSG(!isIdentity(), "tilePayload on identity view");
+  return filetype_.size();
+}
+
+std::vector<Extent> mapTiledExtents(Offset disp,
+                                    std::span<const Extent> segments,
+                                    Bytes tile_payload, Bytes tile_extent,
+                                    Offset view_off, Bytes n) {
+  TCIO_CHECK(view_off >= 0 && n >= 0);
+  TCIO_CHECK(tile_payload > 0);
+  std::vector<Extent> out;
+  if (n == 0) return out;
+  std::int64_t tile_idx = view_off / tile_payload;
+  Bytes skip = view_off % tile_payload;  // payload bytes to skip in the tile
+  Bytes remaining = n;
+  while (remaining > 0) {
+    const Offset tile_base = disp + tile_idx * tile_extent;
+    for (const Extent& seg : segments) {
+      if (remaining == 0) break;
+      Offset b = seg.begin;
+      Bytes len = seg.size();
+      if (skip > 0) {
+        if (skip >= len) {
+          skip -= len;
+          continue;
+        }
+        b += skip;
+        len -= skip;
+        skip = 0;
+      }
+      const Bytes take = std::min(len, remaining);
+      const Extent abs{tile_base + b, tile_base + b + take};
+      if (!out.empty() && out.back().end == abs.begin) {
+        out.back().end = abs.end;
+      } else {
+        out.push_back(abs);
+      }
+      remaining -= take;
+    }
+    ++tile_idx;
+  }
+  return out;
+}
+
+std::vector<Extent> FileView::mapExtents(Offset view_off, Bytes n) const {
+  TCIO_CHECK(view_off >= 0 && n >= 0);
+  if (n == 0) return {};
+  if (isIdentity()) {
+    return {{disp_ + view_off, disp_ + view_off + n}};
+  }
+  return mapTiledExtents(disp_, filetype_.segments(), filetype_.size(),
+                         filetype_.extent(), view_off, n);
+}
+
+}  // namespace tcio::io

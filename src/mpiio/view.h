@@ -1,0 +1,57 @@
+// MPI-IO file views (MPI_File_set_view analogue).
+//
+// A view is (displacement, etype, filetype): the filetype tiles the file
+// from `disp`, and only the bytes mapped by the filetype's segments are
+// visible. View-relative positions address the visible payload linearly;
+// `mapExtents` translates a payload range into absolute file extents.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "mpi/datatype.h"
+
+namespace tcio::io {
+
+/// Core tiling computation: maps the view-relative payload range
+/// [view_off, view_off + n) to absolute file extents given a raw tile
+/// description (segment list, payload bytes per tile, tile extent) placed at
+/// `disp`. Exposed so remotely cached views (view-based collective I/O) can
+/// be evaluated without rebuilding Datatype objects.
+std::vector<Extent> mapTiledExtents(Offset disp,
+                                    std::span<const Extent> segments,
+                                    Bytes tile_payload, Bytes tile_extent,
+                                    Offset view_off, Bytes n);
+
+/// Immutable view descriptor. Default-constructed = identity view (the whole
+/// file, byte for byte).
+class FileView {
+ public:
+  FileView() = default;
+
+  /// `etype` and `filetype` must be committed; filetype must be a whole
+  /// multiple of etypes (checked by size divisibility, as MPI requires).
+  FileView(Offset disp, mpi::Datatype etype, mpi::Datatype filetype);
+
+  bool isIdentity() const { return !filetype_.valid(); }
+
+  Offset displacement() const { return disp_; }
+  const mpi::Datatype& etype() const { return etype_; }
+  const mpi::Datatype& filetype() const { return filetype_; }
+
+  /// Bytes of payload per filetype tile (== whole file for identity views).
+  Bytes tilePayload() const;
+
+  /// Maps the view-relative payload range [view_off, view_off + n) to
+  /// absolute file extents, ordered by payload position, adjacent runs
+  /// merged.
+  std::vector<Extent> mapExtents(Offset view_off, Bytes n) const;
+
+ private:
+  Offset disp_ = 0;
+  mpi::Datatype etype_;
+  mpi::Datatype filetype_;
+};
+
+}  // namespace tcio::io

@@ -1,0 +1,67 @@
+// View-based collective I/O (J. Blas, Isaila, Singh, Carretero — CCGRID'08;
+// the paper's related work §II).
+//
+// The insight: with two-phase I/O, every collective call re-transmits block
+// metadata (offset/length lists) to the aggregators. But the access pattern
+// is fully determined by the *file views*, which rarely change — so exchange
+// each rank's view once, when it is set, and let every collective call move
+// payload only. Aggregators reconstruct everyone's block lists locally from
+// the cached views.
+//
+// Scope: full-view accesses from view offset 0 with the same payload size on
+// every rank (the checkpoint pattern view-based I/O targets); a cheap
+// min/max allreduce verifies the size agreement.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "fs/client.h"
+#include "mpi/comm.h"
+#include "mpiio/twophase.h"
+#include "mpiio/view.h"
+
+namespace tcio::io {
+
+/// One rank's view, in wire form (identity views have no segments).
+struct CachedView {
+  bool identity = false;
+  Offset disp = 0;
+  Bytes tile_payload = 0;
+  Bytes tile_extent = 0;
+  std::vector<Extent> segments;
+};
+
+/// All ranks' views, exchanged once (the view-based metadata exchange).
+class ViewCache {
+ public:
+  /// Collective: every rank contributes its current view.
+  static ViewCache exchange(mpi::Comm& comm, const FileView& mine);
+
+  int size() const { return static_cast<int>(views_.size()); }
+  const CachedView& of(int rank) const {
+    return views_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Absolute extents of rank `r` accessing `n` payload bytes from view
+  /// offset 0 (computed locally — no communication).
+  std::vector<Extent> extentsOf(int rank, Bytes n) const;
+
+ private:
+  std::vector<CachedView> views_;
+};
+
+/// Collective write of each rank's `n` payload bytes through its cached
+/// view. Exactly one alltoallv of payload (plus a 16-byte sanity allreduce)
+/// — no per-call metadata exchange.
+TwoPhaseStats viewBasedWrite(mpi::Comm& comm, fs::FsClient& fs,
+                             fs::FsFile& file, const ViewCache& cache,
+                             const std::byte* payload, Bytes n,
+                             int cb_nodes = 0);
+
+/// Collective read counterpart.
+TwoPhaseStats viewBasedRead(mpi::Comm& comm, fs::FsClient& fs,
+                            fs::FsFile& file, const ViewCache& cache,
+                            std::byte* payload, Bytes n, int cb_nodes = 0);
+
+}  // namespace tcio::io

@@ -1,0 +1,202 @@
+// Deterministic discrete-event engine with one OS thread per simulated rank.
+//
+// Execution model
+// ---------------
+// Every simulated MPI rank runs as its own thread, but the engine admits
+// exactly one thread at a time ("the active rank"). All interaction with
+// shared simulation state (mailboxes, RMA windows, file-system queues, ...)
+// must happen inside `Proc::atomic(fn)`. `atomic` first *gates*: the calling
+// rank is suspended until it holds the minimum (virtual time, rank) key among
+// all runnable ranks. Because shared state is only ever touched inside a
+// gated section, every observable event executes in global virtual-time
+// order — a conservative discrete-event simulation that is bit-deterministic
+// regardless of OS scheduling.
+//
+// Between engine calls a rank may freely run real computation and advance its
+// own clock with `advance()`; that is safe because local work cannot touch
+// shared state.
+//
+// Blocking is expressed with `Event`: a module (inside `atomic`) registers
+// the calling rank as a waiter, and some later rank (inside its own `atomic`)
+// calls `Proc::complete(event, time)`. `Proc::wait` suspends until then and
+// advances the waiter's clock to the completion time.
+//
+// If every live rank ends up blocked, the engine raises `DeadlockError`
+// naming each rank's wait reason — simulated programs cannot hang silently.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace tcio::sim {
+
+class Engine;
+class Proc;
+
+/// One-shot completion token connecting a blocked rank to the rank that will
+/// unblock it. Owned by module data structures (message envelopes, lock
+/// requests, ...). All fields are engine-lock protected; user code only
+/// passes Events to Proc::wait / Proc::complete.
+class Event {
+ public:
+  bool ready() const { return ready_; }
+  SimTime time() const { return time_; }
+
+ private:
+  friend class Engine;
+  friend class Proc;
+  bool ready_ = false;
+  SimTime time_ = 0;
+  std::vector<Rank> waiters_;
+};
+
+/// Per-rank facade handed to the rank body. All members must be called from
+/// the owning rank's thread only.
+class Proc {
+ public:
+  Rank rank() const { return rank_; }
+  int size() const;
+
+  /// This rank's virtual clock, in seconds.
+  SimTime now() const { return now_; }
+
+  /// Charge `dt` seconds of local work (computation, memcpy, ...).
+  void advance(SimTime dt) {
+    TCIO_CHECK(dt >= 0);
+    now_ += dt;
+  }
+
+  /// Move the clock forward to at least `t` (no-op if already past).
+  void advanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Execute `fn` atomically at this rank's current virtual time, in global
+  /// virtual-time order. `fn` runs with the engine lock held; it must not
+  /// call atomic/wait itself. Returns fn's result.
+  template <typename F>
+  auto atomic(F&& fn) -> decltype(fn()) {
+    AtomicSection section(*this);
+    return fn();
+  }
+
+  /// Mark `e` complete at time `t` and make its waiters runnable. Must be
+  /// called inside atomic(). `t` must be >= the caller's gated time.
+  void complete(Event& e, SimTime t);
+
+  /// Block until `e` completes; advances this rank's clock to the completion
+  /// time. `what` names the wait for deadlock diagnostics. Must NOT be
+  /// called inside atomic().
+  void wait(Event& e, const char* what);
+
+  /// Deterministic per-rank random stream.
+  Rng& rng() { return rng_; }
+
+  Engine& engine() { return *engine_; }
+
+ private:
+  friend class Engine;
+  Proc(Engine& engine, Rank rank, std::uint64_t seed)
+      : engine_(&engine), rank_(rank), rng_(seed) {}
+
+  /// RAII helper: gates on construction (acquiring the engine lock and
+  /// waiting for virtual-time order), releases the lock on destruction.
+  class AtomicSection {
+   public:
+    explicit AtomicSection(Proc& p);
+    ~AtomicSection() = default;  // lk_ releases the engine lock
+    AtomicSection(const AtomicSection&) = delete;
+    AtomicSection& operator=(const AtomicSection&) = delete;
+
+   private:
+    std::unique_lock<std::mutex> lk_;
+  };
+
+  Engine* engine_;
+  Rank rank_;
+  SimTime now_ = 0;
+  Rng rng_;
+};
+
+/// The engine itself. Construct with the rank count, then `run(body)`;
+/// `body(proc)` is executed once per rank on its own thread. `run` returns
+/// when every rank finished and rethrows the first failure, if any.
+class Engine {
+ public:
+  struct Config {
+    int num_ranks = 1;
+    /// Seed mixed into each rank's Rng.
+    std::uint64_t seed = 1;
+  };
+
+  explicit Engine(Config cfg);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `body` on every rank. May be called once per Engine.
+  void run(const std::function<void(Proc&)>& body);
+
+  int numRanks() const { return cfg_.num_ranks; }
+
+  /// Maximum virtual time over all ranks after run() finished — the
+  /// simulated makespan.
+  SimTime makespan() const;
+
+  /// Total number of gated sections executed (simulation event count).
+  std::int64_t eventCount() const { return event_count_; }
+
+ private:
+  friend class Proc;
+
+  enum class State : std::uint8_t { kGated, kActive, kBlocked, kDone };
+
+  struct RankRecord {
+    State state = State::kGated;
+    const char* wait_what = nullptr;
+    std::condition_variable cv;
+  };
+
+  using GateKey = std::pair<SimTime, Rank>;
+
+  // All of the below require lock_ held.
+  void gateLocked(std::unique_lock<std::mutex>& lk, Proc& p);
+  void finishRank(Rank r, bool was_active);
+  void releaseActiveLocked(Rank r);
+  void dispatchLocked();
+  void failLocked(std::exception_ptr ep);
+  void checkAbortLocked() const;
+
+  Config cfg_;
+  mutable std::mutex lock_;
+  std::vector<RankRecord> records_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::set<GateKey> gated_;
+  Rank active_ = -1;
+  int done_count_ = 0;
+  int blocked_count_ = 0;
+  bool abort_ = false;
+  std::exception_ptr failure_;
+  std::vector<SimTime> final_times_;
+  std::int64_t event_count_ = 0;
+  bool ran_ = false;
+};
+
+/// Thrown into rank threads to unwind them after another rank failed. User
+/// code should not catch it (catch-all handlers in rank bodies must rethrow).
+struct Aborted {};
+
+}  // namespace tcio::sim

@@ -1,0 +1,52 @@
+// Optional event tracing for debugging and for tests that assert on
+// operation ordering. Disabled by default; recording is cheap (one vector
+// push inside an already-atomic section).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tcio::sim {
+
+/// One recorded simulation event.
+struct TraceEvent {
+  Rank rank = -1;
+  SimTime begin = 0;
+  SimTime end = 0;
+  /// Category, e.g. "net.send", "fs.write", "rma.put", "tcio.flush".
+  std::string category;
+  Bytes bytes = 0;
+};
+
+/// Append-only trace buffer. Must only be mutated inside Proc::atomic().
+class Trace {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(Rank rank, SimTime begin, SimTime end, std::string category,
+              Bytes bytes = 0) {
+    if (!enabled_) return;
+    events_.push_back({rank, begin, end, std::move(category), bytes});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Number of events whose category starts with `prefix`.
+  std::int64_t countWithPrefix(const std::string& prefix) const {
+    std::int64_t n = 0;
+    for (const auto& e : events_) {
+      if (e.category.rfind(prefix, 0) == 0) ++n;
+    }
+    return n;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tcio::sim

@@ -1,0 +1,71 @@
+#include "tcio/capi.h"
+
+#include "common/error.h"
+#include "tcio/file.h"
+
+namespace {
+
+struct ThreadContext {
+  tcio::mpi::Comm* comm = nullptr;
+  tcio::fs::Filesystem* fsys = nullptr;
+  tcio::core::TcioConfig cfg;
+};
+
+// One context per rank thread — the simulation hosts every rank in one
+// process, so process-global state would alias ranks.
+thread_local ThreadContext g_ctx;
+
+ThreadContext& ctx() {
+  TCIO_CHECK_MSG(g_ctx.comm != nullptr,
+                 "tcio_set_context() must be called before tcio_open()");
+  return g_ctx;
+}
+
+}  // namespace
+
+void tcio_set_context(tcio::mpi::Comm& comm, tcio::fs::Filesystem& fsys,
+                      tcio::core::TcioConfig cfg) {
+  g_ctx = {&comm, &fsys, cfg};
+}
+
+tcio_file* tcio_open(const char* fname, int mode) {
+  ThreadContext& c = ctx();
+  return new tcio::core::File(*c.comm, *c.fsys, fname,
+                              static_cast<unsigned>(mode), c.cfg);
+}
+
+void tcio_write(tcio_file* fh, const void* data, int count,
+                const tcio::mpi::Datatype& type) {
+  fh->write(data, count, type);
+}
+
+void tcio_write_at(tcio_file* fh, tcio::Offset offset, const void* data,
+                   int count, const tcio::mpi::Datatype& type) {
+  fh->writeAt(offset, data, count, type);
+}
+
+void tcio_read(tcio_file* fh, void* data, int count,
+               const tcio::mpi::Datatype& type) {
+  fh->read(data, count, type);
+}
+
+void tcio_read_at(tcio_file* fh, tcio::Offset offset, void* data, int count,
+                  const tcio::mpi::Datatype& type) {
+  fh->readAt(offset, data, count, type);
+}
+
+void tcio_seek(tcio_file* fh, tcio::Offset offset, int whence) {
+  using tcio::core::Whence;
+  Whence w = Whence::kSet;
+  if (whence == TCIO_SEEK_CUR) w = Whence::kCur;
+  if (whence == TCIO_SEEK_END) w = Whence::kEnd;
+  fh->seek(offset, w);
+}
+
+void tcio_flush(tcio_file* fh) { fh->flush(); }
+void tcio_fetch(tcio_file* fh) { fh->fetch(); }
+
+void tcio_close(tcio_file* fh) {
+  fh->close();
+  delete fh;
+}

@@ -1,0 +1,62 @@
+// The paper's Program 1 API, verbatim:
+//
+//   tcio_file* tcio_open(char* fname, int mode)
+//   tcio_write(tcio_file* fh, void* data, int count, MPI_Datatype type)
+//   tcio_write_at(tcio_file* fh, MPI_Offset offset, void* data, int count,
+//                 MPI_Datatype type)
+//   tcio_read(tcio_file* fh, void* data, int count, MPI_Datatype type)
+//   tcio_read_at(tcio_file* fh, MPI_Offset offset, void* data, int count,
+//                MPI_Datatype type)
+//   tcio_seek(tcio_file* fh, MPI_Offset offset, int whence)
+//   tcio_flush(tcio_file* fh)
+//   tcio_fetch(tcio_file* fh)
+//   tcio_close(tcio_file* fh)
+//
+// Because the simulated MPI job carries its communicator explicitly (there
+// is no process-global MPI_COMM_WORLD in a simulation hosting many ranks in
+// one process), a rank binds its communicator, file system, and TCIO
+// configuration to the calling thread once with tcio_set_context(); the
+// Program 1 calls then look exactly like the paper's.
+#pragma once
+
+#include "fs/filesystem.h"
+#include "mpi/comm.h"
+#include "mpi/datatype.h"
+#include "tcio/config.h"
+
+namespace tcio::core {
+class File;
+}
+
+/// Opaque file handle (Program 1's tcio_file).
+using tcio_file = tcio::core::File;
+
+// Seek whence values (POSIX-style).
+constexpr int TCIO_SEEK_SET = 0;
+constexpr int TCIO_SEEK_CUR = 1;
+constexpr int TCIO_SEEK_END = 2;
+
+// Open modes (combine with |). Aliases of fs::OpenFlags.
+constexpr int TCIO_RDONLY = 1;   // fs::kRead
+constexpr int TCIO_WRONLY = 2;   // fs::kWrite
+constexpr int TCIO_RDWR = 3;
+constexpr int TCIO_CREATE = 4;   // fs::kCreate
+constexpr int TCIO_TRUNC = 8;    // fs::kTruncate
+
+/// Binds this rank thread's context; call once per rank before tcio_open.
+void tcio_set_context(tcio::mpi::Comm& comm, tcio::fs::Filesystem& fsys,
+                      tcio::core::TcioConfig cfg = {});
+
+tcio_file* tcio_open(const char* fname, int mode);
+void tcio_write(tcio_file* fh, const void* data, int count,
+                const tcio::mpi::Datatype& type);
+void tcio_write_at(tcio_file* fh, tcio::Offset offset, const void* data,
+                   int count, const tcio::mpi::Datatype& type);
+void tcio_read(tcio_file* fh, void* data, int count,
+               const tcio::mpi::Datatype& type);
+void tcio_read_at(tcio_file* fh, tcio::Offset offset, void* data, int count,
+                  const tcio::mpi::Datatype& type);
+void tcio_seek(tcio_file* fh, tcio::Offset offset, int whence);
+void tcio_flush(tcio_file* fh);
+void tcio_fetch(tcio_file* fh);
+void tcio_close(tcio_file* fh);

@@ -1,0 +1,41 @@
+// TCIO configuration.
+//
+// As the paper specifies, a user provides the level-2 segment size (set to
+// the file system's lock granularity — the Lustre stripe size — by default)
+// and the number of segments each process contributes. The level-1 buffer is
+// exactly one segment (paper §IV.A: "we set them to be equal, and each
+// level-1 buffer is aligned with one level-2 buffer segment").
+#pragma once
+
+#include "common/types.h"
+
+namespace tcio::core {
+
+struct TcioConfig {
+  /// Level-2 segment size; should equal the file system lock granularity.
+  Bytes segment_size = 1_MiB;
+
+  /// Segments per process. The file domain a job can address is
+  /// segment_size * segments_per_rank * num_ranks.
+  std::int64_t segments_per_rank = 64;
+
+  /// Paper design: move level-1 data to level-2 with one-sided
+  /// lock/put/unlock epochs. `false` switches to the two-sided ablation:
+  /// writes are staged locally and exchanged with a collective alltoallv at
+  /// flush/close (OCIO-style exchange under the TCIO API).
+  bool use_onesided = true;
+
+  /// Paper design: reads are recorded and materialized lazily at fetch (or
+  /// when the read domain leaves the current segment). `false` switches to
+  /// the eager ablation: every read_at materializes immediately.
+  bool lazy_reads = true;
+
+  /// Literal paper trigger: resolve the pending-read group independently as
+  /// soon as a read leaves the segment the group is in. Off by default:
+  /// for interleaved patterns every rank crosses segments in lockstep and
+  /// the per-segment exclusive load epochs serialize all readers; explicit
+  /// (collective) fetch() lets owners load their own segments in parallel.
+  bool auto_fetch_on_segment_exit = false;
+};
+
+}  // namespace tcio::core

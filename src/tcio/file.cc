@@ -1,0 +1,554 @@
+#include "tcio/file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace tcio::core {
+
+namespace {
+constexpr std::byte kFlagSet{1};
+
+struct BlockMeta {
+  Offset off = 0;
+  Bytes len = 0;
+};
+}  // namespace
+
+File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
+           unsigned flags, TcioConfig cfg)
+    : comm_(&comm),
+      client_(fsys, comm.proc()),
+      name_(name),
+      flags_(flags),
+      cfg_(cfg),
+      map_(cfg.segment_size, comm.size()),
+      flags_region_(cfg.segments_per_rank * kFlagBytes),
+      level1_(cfg.segment_size) {
+  TCIO_CHECK(cfg_.segment_size > 0);
+  TCIO_CHECK(cfg_.segments_per_rank > 0);
+  TCIO_CHECK_MSG(cfg_.use_onesided || cfg_.lazy_reads,
+                 "two-sided exchange requires lazy reads (no independent "
+                 "materialization path exists without one-sided access)");
+  // Collective open: rank 0 creates/truncates, everyone else opens after.
+  if (comm_->rank() == 0) {
+    fsfile_ = client_.open(name_, flags_);
+    comm_->barrier();
+  } else {
+    comm_->barrier();
+    fsfile_ = client_.open(name_, flags_ & ~(fs::kCreate | fs::kTruncate));
+  }
+  window_ = std::make_unique<mpi::Window>(mpi::Window::create(
+      *comm_, flags_region_ + cfg_.segments_per_rank * cfg_.segment_size));
+  comm_->memory().allocate(cfg_.segment_size, "TCIO level-1 buffer");
+  open_ = true;
+}
+
+File::~File() {
+  if (open_) {
+    try {
+      close();
+    } catch (...) {
+      // Destructor must not throw; an incomplete collective close at
+      // unwind time is already a failed simulation.
+    }
+  }
+}
+
+// -- Writes -------------------------------------------------------------------
+
+void File::write(const void* data, std::int64_t count,
+                 const mpi::Datatype& type) {
+  const Bytes n = count * type.size();
+  writeBytes(pointer_, static_cast<const std::byte*>(data), n);
+  pointer_ += n;
+}
+
+void File::writeAt(Offset off, const void* data, std::int64_t count,
+                   const mpi::Datatype& type) {
+  writeBytes(off, static_cast<const std::byte*>(data), count * type.size());
+}
+
+void File::writeAt(Offset off, const void* data, Bytes n) {
+  writeBytes(off, static_cast<const std::byte*>(data), n);
+}
+
+void File::writeBytes(Offset off, const std::byte* src, Bytes n) {
+  TCIO_CHECK_MSG(open_, "write on closed TCIO file");
+  TCIO_CHECK_MSG((flags_ & fs::kWrite) != 0, "write on read-only TCIO file");
+  TCIO_CHECK(off >= 0 && n >= 0);
+  TCIO_CHECK_MSG(off + n <= capacity(),
+                 "write beyond TCIO capacity — raise segments_per_rank");
+  if (n == 0) return;
+  ++stats_.writes;
+  stats_.bytes_written += n;
+  local_max_written_ = std::max(local_max_written_, off + n);
+  comm_->chargeCopy(n);
+  while (n > 0) {
+    const SegmentId seg = map_.segmentOf(off);
+    const Offset disp = map_.dispOf(off);
+    const Bytes take = std::min(n, cfg_.segment_size - disp);
+    if (level1_.alignedSegment() != seg) {
+      flushLevel1();
+      level1_.align(seg);
+    }
+    level1_.put(disp, src, take);
+    off += take;
+    src += take;
+    n -= take;
+  }
+}
+
+void File::flushLevel1() {
+  if (level1_.empty()) {
+    level1_.reset();
+    return;
+  }
+  ++stats_.level1_flushes;
+  const SegmentId seg = level1_.alignedSegment();
+  const std::vector<Extent> extents = level1_.mergedExtents();
+  const SimTime flush_begin = comm_->proc().now();
+  if (cfg_.use_onesided) {
+    const Rank owner = map_.rankOf(seg);
+    const std::int64_t slot = map_.slotOf(seg);
+    std::vector<mpi::Window::PutBlock> blocks;
+    blocks.reserve(extents.size() + 1);
+    blocks.push_back({flagsDisp(slot, kDirtyFlag), &kFlagSet, 1});
+    for (const Extent& e : extents) {
+      blocks.push_back(
+          {dataDisp(slot, e.begin), level1_.data() + e.begin, e.size()});
+    }
+    // Shared lock: concurrent flushes from different ranks write disjoint
+    // bytes of the segment (their own blocks), which MPI permits under
+    // shared passive-target epochs — and it keeps flushes from convoying
+    // behind one another when every rank walks the segments in file order.
+    window_->lock(mpi::LockType::kShared, owner);
+    window_->putIndexed(owner, blocks);
+    window_->unlock(owner);
+    if (comm_->world().trace().enabled()) {
+      sim::Proc& p = comm_->proc();
+      Bytes n = 0;
+      for (const Extent& e : extents) n += e.size();
+      p.atomic([&] {
+        comm_->world().trace().record(p.rank(), flush_begin, p.now(),
+                                      "tcio.flush", n);
+      });
+    }
+  } else {
+    // Two-sided ablation: stage locally until the next collective exchange.
+    for (const Extent& e : extents) {
+      staged_.emplace_back(
+          map_.baseOf(seg) + e.begin,
+          std::vector<std::byte>(level1_.data() + e.begin,
+                                 level1_.data() + e.end));
+      staged_bytes_ += e.size();
+      comm_->memory().allocate(e.size(), "TCIO two-sided staging");
+    }
+  }
+  level1_.reset();
+}
+
+// -- Reads --------------------------------------------------------------------
+
+void File::read(void* data, std::int64_t count, const mpi::Datatype& type) {
+  const Bytes n = count * type.size();
+  recordRead(pointer_, static_cast<std::byte*>(data), n);
+  pointer_ += n;
+}
+
+void File::readAt(Offset off, void* data, std::int64_t count,
+                  const mpi::Datatype& type) {
+  recordRead(off, static_cast<std::byte*>(data), count * type.size());
+}
+
+void File::readAt(Offset off, void* data, Bytes n) {
+  recordRead(off, static_cast<std::byte*>(data), n);
+}
+
+void File::recordRead(Offset off, std::byte* dst, Bytes n) {
+  TCIO_CHECK_MSG(open_, "read on closed TCIO file");
+  TCIO_CHECK_MSG((flags_ & fs::kRead) != 0, "read on write-only TCIO file");
+  TCIO_CHECK(off >= 0 && n >= 0);
+  TCIO_CHECK_MSG(off + n <= capacity(),
+                 "read beyond TCIO capacity — raise segments_per_rank");
+  if (n == 0) return;
+  ++stats_.reads;
+  stats_.bytes_read += n;
+  while (n > 0) {
+    const SegmentId seg = map_.segmentOf(off);
+    const Bytes take = std::min(n, cfg_.segment_size - map_.dispOf(off));
+    // Session writes still sitting in level-1 must reach level-2 before any
+    // read of the same segment resolves.
+    if (level1_.alignedSegment() == seg && !level1_.empty()) {
+      flushLevel1();
+    }
+    const PendingRead piece{off, take, dst};
+    if (!cfg_.lazy_reads) {
+      independentFetch({piece});
+    } else if (cfg_.auto_fetch_on_segment_exit && cfg_.use_onesided &&
+               pending_segment_ != -1 && seg != pending_segment_) {
+      // The cached read domain left the level-1 window: resolve the
+      // accumulated group independently (paper §IV.A trigger), then start a
+      // new group.
+      std::vector<PendingRead> group;
+      group.swap(pending_reads_);
+      independentFetch(std::move(group));
+      pending_segment_ = seg;
+      pending_reads_.push_back(piece);
+    } else {
+      pending_segment_ = seg;
+      pending_reads_.push_back(piece);
+    }
+    off += take;
+    dst += take;
+    n -= take;
+  }
+}
+
+void File::ensureLoadedIndependent(SegmentId seg) {
+  const Rank owner = map_.rankOf(seg);
+  const std::int64_t slot = map_.slotOf(seg);
+  std::byte flags[2];
+  window_->get(owner, flagsDisp(slot, 0), flags, kFlagBytes);
+  if (flags[kDirtyFlag] != std::byte{0} || flags[kLoadedFlag] != std::byte{0}) {
+    return;  // resident (session writes or a previous load)
+  }
+  // Load the segment from the file ourselves and publish it through the
+  // owner's window — pure one-sided, no remote progress needed.
+  const Offset base = map_.baseOf(seg);
+  const Bytes fsize = client_.size(fsfile_);
+  const Bytes len = std::clamp<Bytes>(fsize - base, 0, cfg_.segment_size);
+  std::vector<std::byte> tmp(static_cast<std::size_t>(len));
+  if (len > 0) client_.pread(fsfile_, base, tmp.data(), len);
+  std::vector<mpi::Window::PutBlock> blocks;
+  blocks.push_back({flagsDisp(slot, kLoadedFlag), &kFlagSet, 1});
+  if (len > 0) blocks.push_back({dataDisp(slot, 0), tmp.data(), len});
+  window_->putIndexed(owner, blocks);
+}
+
+void File::independentFetch(std::vector<PendingRead> reads) {
+  TCIO_CHECK_MSG(cfg_.use_onesided,
+                 "independent fetch requires one-sided mode");
+  if (reads.empty()) return;
+  ++stats_.independent_fetches;
+  // Group by segment; each segment is handled under one exclusive lock of
+  // its owner (exclusive because we may have to load-and-publish).
+  std::map<SegmentId, std::vector<PendingRead>> by_seg;
+  for (const PendingRead& r : reads) {
+    by_seg[map_.segmentOf(r.off)].push_back(r);
+  }
+  for (auto& [seg, group] : by_seg) {
+    const Rank owner = map_.rankOf(seg);
+    const std::int64_t slot = map_.slotOf(seg);
+    std::vector<mpi::Window::GetBlock> blocks;
+    blocks.reserve(group.size());
+    for (const PendingRead& r : group) {
+      blocks.push_back({dataDisp(slot, map_.dispOf(r.off)), r.dst, r.len});
+    }
+    // Fast path: under a shared lock, check residency and gather. Only a
+    // non-resident segment needs the exclusive load-and-publish epoch.
+    std::byte flags[2];
+    window_->lock(mpi::LockType::kShared, owner);
+    window_->get(owner, flagsDisp(slot, 0), flags, kFlagBytes);
+    const bool resident = flags[kDirtyFlag] != std::byte{0} ||
+                          flags[kLoadedFlag] != std::byte{0};
+    if (resident) {
+      window_->getIndexed(owner, blocks);
+      window_->unlock(owner);
+      continue;
+    }
+    window_->unlock(owner);
+    window_->lock(mpi::LockType::kExclusive, owner);
+    ensureLoadedIndependent(seg);  // re-checks under the exclusive lock
+    window_->getIndexed(owner, blocks);
+    window_->unlock(owner);
+  }
+}
+
+void File::gatherPending(std::vector<PendingRead>& reads) {
+  // One shared-lock epoch and one coalesced get per owner.
+  std::map<Rank, std::vector<mpi::Window::GetBlock>> by_owner;
+  for (const PendingRead& r : reads) {
+    const SegmentId seg = map_.segmentOf(r.off);
+    by_owner[map_.rankOf(seg)].push_back(
+        {dataDisp(map_.slotOf(seg), map_.dispOf(r.off)), r.dst, r.len});
+  }
+  for (auto& [owner, blocks] : by_owner) {
+    window_->lock(mpi::LockType::kShared, owner);
+    window_->getIndexed(owner, blocks);
+    window_->unlock(owner);
+  }
+}
+
+void File::collectiveFetch() {
+  ++stats_.collective_fetches;
+  const SimTime fetch_begin = comm_->proc().now();
+  if (cfg_.use_onesided) {
+    flushLevel1();
+  } else {
+    exchangeStagedWrites();
+  }
+  // Union of needed segments across ranks.
+  const std::int64_t total_segs =
+      cfg_.segments_per_rank * static_cast<std::int64_t>(comm_->size());
+  std::vector<std::uint64_t> bitmap(
+      static_cast<std::size_t>((total_segs + 63) / 64), 0);
+  for (const PendingRead& r : pending_reads_) {
+    // A pending piece never crosses a segment boundary (recordRead splits).
+    const SegmentId g = map_.segmentOf(r.off);
+    bitmap[static_cast<std::size_t>(g / 64)] |= 1ULL << (g % 64);
+  }
+  comm_->allreduce(bitmap.data(), static_cast<std::int64_t>(bitmap.size()),
+                   mpi::ReduceOp::kBitOr);
+  // Owners load their needed, non-resident segments with large file reads.
+  const Bytes fsize = client_.size(fsfile_);
+  std::byte* local = window_->localData();
+  for (std::int64_t slot = 0; slot < cfg_.segments_per_rank; ++slot) {
+    const SegmentId g = map_.segmentFor(comm_->rank(), slot);
+    if ((bitmap[static_cast<std::size_t>(g / 64)] & (1ULL << (g % 64))) == 0) {
+      continue;
+    }
+    std::byte& dirty = local[flagsDisp(slot, kDirtyFlag)];
+    std::byte& loaded = local[flagsDisp(slot, kLoadedFlag)];
+    if (dirty != std::byte{0} || loaded != std::byte{0}) continue;
+    const Offset base = map_.baseOf(g);
+    const Bytes len = std::clamp<Bytes>(fsize - base, 0, cfg_.segment_size);
+    if (len > 0) {
+      client_.pread(fsfile_, base, local + dataDisp(slot, 0), len);
+    }
+    loaded = kFlagSet;
+  }
+  comm_->barrier();
+  if (cfg_.use_onesided) {
+    gatherPending(pending_reads_);
+  } else {
+    // Two-sided reply exchange: ship requests to owners, owners answer from
+    // their local windows.
+    const int P = comm_->size();
+    std::vector<std::vector<std::byte>> req_meta(static_cast<std::size_t>(P));
+    for (const PendingRead& r : pending_reads_) {
+      const BlockMeta m{r.off, r.len};
+      const auto owner =
+          static_cast<std::size_t>(map_.rankOf(map_.segmentOf(r.off)));
+      const auto* raw = reinterpret_cast<const std::byte*>(&m);
+      req_meta[owner].insert(req_meta[owner].end(), raw, raw + sizeof(m));
+    }
+    const auto exchangeBuffers =
+        [&](const std::vector<std::vector<std::byte>>& per_dst,
+            std::vector<Bytes>& rcounts, std::vector<Offset>& rdispls) {
+          const auto sp = static_cast<std::size_t>(P);
+          std::vector<Bytes> scnt(sp), szs(sp), szr(sp), c8(sp, 8);
+          std::vector<Offset> sdsp(sp), d8(sp);
+          for (std::size_t i = 0; i < sp; ++i) {
+            szs[i] = static_cast<Bytes>(per_dst[i].size());
+            d8[i] = static_cast<Offset>(i * 8);
+          }
+          comm_->alltoallv(szs.data(), c8, d8, szr.data(), c8, d8);
+          Bytes stot = 0, rtot = 0;
+          std::vector<std::byte> sendbuf;
+          rcounts.assign(sp, 0);
+          rdispls.assign(sp, 0);
+          for (std::size_t i = 0; i < sp; ++i) {
+            scnt[i] = szs[i];
+            sdsp[i] = stot;
+            stot += szs[i];
+            rcounts[i] = szr[i];
+            rdispls[i] = rtot;
+            rtot += szr[i];
+          }
+          for (const auto& v : per_dst) {
+            sendbuf.insert(sendbuf.end(), v.begin(), v.end());
+          }
+          std::vector<std::byte> recv(static_cast<std::size_t>(rtot));
+          comm_->alltoallv(sendbuf.data(), scnt, sdsp, recv.data(), rcounts,
+                           rdispls);
+          return recv;
+        };
+    std::vector<Bytes> mcounts;
+    std::vector<Offset> mdispls;
+    const std::vector<std::byte> got_meta =
+        exchangeBuffers(req_meta, mcounts, mdispls);
+    // Answer each requester from the local window.
+    std::vector<std::vector<std::byte>> replies(static_cast<std::size_t>(P));
+    for (int src = 0; src < P; ++src) {
+      const auto s = static_cast<std::size_t>(src);
+      const auto* blocks =
+          reinterpret_cast<const BlockMeta*>(got_meta.data() + mdispls[s]);
+      const std::size_t nb =
+          static_cast<std::size_t>(mcounts[s]) / sizeof(BlockMeta);
+      for (std::size_t i = 0; i < nb; ++i) {
+        const SegmentId g = map_.segmentOf(blocks[i].off);
+        const std::byte* from =
+            local + dataDisp(map_.slotOf(g), map_.dispOf(blocks[i].off));
+        replies[s].insert(replies[s].end(), from, from + blocks[i].len);
+      }
+    }
+    std::vector<Bytes> rcounts;
+    std::vector<Offset> rdispls;
+    const std::vector<std::byte> payload =
+        exchangeBuffers(replies, rcounts, rdispls);
+    // Scatter: replies from each owner arrive in my request order.
+    std::vector<Offset> cursor(rdispls.begin(), rdispls.end());
+    for (const PendingRead& r : pending_reads_) {
+      const auto owner =
+          static_cast<std::size_t>(map_.rankOf(map_.segmentOf(r.off)));
+      std::memcpy(r.dst, payload.data() + cursor[owner],
+                  static_cast<std::size_t>(r.len));
+      cursor[owner] += r.len;
+    }
+    comm_->chargeCopy(static_cast<Bytes>(payload.size()));
+  }
+  if (comm_->world().trace().enabled()) {
+    sim::Proc& p = comm_->proc();
+    Bytes n = 0;
+    for (const PendingRead& r : pending_reads_) n += r.len;
+    p.atomic([&] {
+      comm_->world().trace().record(p.rank(), fetch_begin, p.now(),
+                                    "tcio.fetch", n);
+    });
+  }
+  pending_reads_.clear();
+  pending_segment_ = -1;
+}
+
+// -- Collectives --------------------------------------------------------------
+
+void File::seek(Offset off, Whence whence) {
+  switch (whence) {
+    case Whence::kSet: pointer_ = off; break;
+    case Whence::kCur: pointer_ += off; break;
+    case Whence::kEnd:
+      pointer_ = std::max(client_.size(fsfile_), local_max_written_) + off;
+      break;
+  }
+  TCIO_CHECK(pointer_ >= 0);
+}
+
+void File::flush() {
+  TCIO_CHECK_MSG(open_, "flush on closed TCIO file");
+  if (cfg_.use_onesided) {
+    flushLevel1();
+  } else {
+    exchangeStagedWrites();
+  }
+  comm_->barrier();  // tcio_flush is collective (paper §IV.B)
+}
+
+void File::fetch() {
+  TCIO_CHECK_MSG(open_, "fetch on closed TCIO file");
+  collectiveFetch();
+}
+
+void File::exchangeStagedWrites() {
+  flushLevel1();  // move any level-1 residue into the staging area
+  const int P = comm_->size();
+  const auto sp = static_cast<std::size_t>(P);
+  std::vector<std::vector<std::byte>> meta(sp), payload(sp);
+  for (const auto& [off, bytes] : staged_) {
+    const SegmentId g = map_.segmentOf(off);
+    const auto owner = static_cast<std::size_t>(map_.rankOf(g));
+    const BlockMeta m{off, static_cast<Bytes>(bytes.size())};
+    const auto* raw = reinterpret_cast<const std::byte*>(&m);
+    meta[owner].insert(meta[owner].end(), raw, raw + sizeof(m));
+    payload[owner].insert(payload[owner].end(), bytes.begin(), bytes.end());
+  }
+  auto exchange = [&](const std::vector<std::vector<std::byte>>& per_dst,
+                      std::vector<Bytes>& rcounts,
+                      std::vector<Offset>& rdispls) {
+    std::vector<Bytes> scnt(sp), szs(sp), szr(sp), c8(sp, 8);
+    std::vector<Offset> sdsp(sp), d8(sp);
+    for (std::size_t i = 0; i < sp; ++i) {
+      szs[i] = static_cast<Bytes>(per_dst[i].size());
+      d8[i] = static_cast<Offset>(i * 8);
+    }
+    comm_->alltoallv(szs.data(), c8, d8, szr.data(), c8, d8);
+    Bytes stot = 0, rtot = 0;
+    std::vector<std::byte> sendbuf;
+    rcounts.assign(sp, 0);
+    rdispls.assign(sp, 0);
+    for (std::size_t i = 0; i < sp; ++i) {
+      scnt[i] = szs[i];
+      sdsp[i] = stot;
+      stot += szs[i];
+      rcounts[i] = szr[i];
+      rdispls[i] = rtot;
+      rtot += szr[i];
+    }
+    for (const auto& v : per_dst) {
+      sendbuf.insert(sendbuf.end(), v.begin(), v.end());
+    }
+    std::vector<std::byte> recv(static_cast<std::size_t>(rtot));
+    comm_->alltoallv(sendbuf.data(), scnt, sdsp, recv.data(), rcounts,
+                     rdispls);
+    return recv;
+  };
+  std::vector<Bytes> mcnt, pcnt;
+  std::vector<Offset> mdsp, pdsp;
+  const auto got_meta = exchange(meta, mcnt, mdsp);
+  const auto got_payload = exchange(payload, pcnt, pdsp);
+  // Apply received blocks into the local window.
+  std::byte* local = window_->localData();
+  for (int src = 0; src < P; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    const auto* blocks =
+        reinterpret_cast<const BlockMeta*>(got_meta.data() + mdsp[s]);
+    const std::size_t nb =
+        static_cast<std::size_t>(mcnt[s]) / sizeof(BlockMeta);
+    const std::byte* from = got_payload.data() + pdsp[s];
+    for (std::size_t i = 0; i < nb; ++i) {
+      const SegmentId g = map_.segmentOf(blocks[i].off);
+      const std::int64_t slot = map_.slotOf(g);
+      std::memcpy(local + dataDisp(slot, map_.dispOf(blocks[i].off)), from,
+                  static_cast<std::size_t>(blocks[i].len));
+      from += blocks[i].len;
+      local[flagsDisp(slot, kDirtyFlag)] = kFlagSet;
+    }
+  }
+  comm_->chargeCopy(static_cast<Bytes>(got_payload.size()));
+  comm_->memory().release(staged_bytes_);
+  staged_.clear();
+  staged_bytes_ = 0;
+}
+
+void File::close() {
+  if (!open_) return;
+  // Mark closed up front: if any step below throws, the destructor must not
+  // attempt the collective sequence again mid-unwind (the other ranks are no
+  // longer at a matching program point).
+  open_ = false;
+  if ((flags_ & fs::kRead) != 0) {
+    collectiveFetch();  // resolve any pending lazy reads
+  }
+  if (cfg_.use_onesided) {
+    flushLevel1();
+  } else {
+    exchangeStagedWrites();
+  }
+  // Aggregate file size across ranks (pre-existing contents included).
+  std::int64_t fsize = std::max(local_max_written_, client_.size(fsfile_));
+  comm_->allreduce(&fsize, 1, mpi::ReduceOp::kMax);
+  comm_->barrier();  // paper: synchronize before draining level-2
+  if ((flags_ & fs::kWrite) != 0) {
+    drainToFs(fsize);
+  }
+  comm_->barrier();
+  client_.close(fsfile_);
+  comm_->memory().release(cfg_.segment_size);  // level-1 buffer
+  comm_->memory().release(window_->localSize());
+  window_.reset();
+  open_ = false;
+}
+
+void File::drainToFs(Bytes file_size) {
+  const std::byte* local = window_->localData();
+  for (std::int64_t slot = 0; slot < cfg_.segments_per_rank; ++slot) {
+    if (local[flagsDisp(slot, kDirtyFlag)] == std::byte{0}) continue;
+    const SegmentId g = map_.segmentFor(comm_->rank(), slot);
+    const Offset base = map_.baseOf(g);
+    if (base >= file_size) continue;
+    const Bytes len = std::min(cfg_.segment_size, file_size - base);
+    client_.pwrite(fsfile_, base, local + dataDisp(slot, 0), len);
+  }
+}
+
+}  // namespace tcio::core

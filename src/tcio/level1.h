@@ -1,0 +1,65 @@
+// Level-1 buffer: one segment-sized combine buffer per process.
+//
+// Sequential small writes that fall into the segment the buffer is aligned
+// with are memcpy'd in and their in-segment extents recorded; when an access
+// leaves the segment (or on flush) the whole buffer content moves to the
+// owning rank's level-2 segment in a single coalesced transfer.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "mpi/datatype.h"
+
+namespace tcio::core {
+
+class Level1Buffer {
+ public:
+  explicit Level1Buffer(Bytes segment_size)
+      : segment_size_(segment_size),
+        data_(static_cast<std::size_t>(segment_size)) {}
+
+  bool empty() const { return extents_.empty(); }
+
+  /// Global segment the buffer is currently aligned with (-1 = none).
+  SegmentId alignedSegment() const { return segment_; }
+
+  /// Aligns with a (new) segment; buffer must be empty.
+  void align(SegmentId segment) {
+    TCIO_CHECK_MSG(empty(), "realigning a non-empty level-1 buffer");
+    segment_ = segment;
+  }
+
+  /// Copies `n` bytes at in-segment displacement `disp`; records the extent.
+  void put(Offset disp, const void* src, Bytes n) {
+    TCIO_CHECK(segment_ >= 0);
+    TCIO_CHECK_MSG(disp >= 0 && disp + n <= segment_size_,
+                   "level-1 write outside the aligned segment");
+    std::memcpy(data_.data() + disp, src, static_cast<std::size_t>(n));
+    extents_.push_back({disp, disp + n});
+  }
+
+  /// Sorted, merged extents currently buffered (in-segment displacements).
+  std::vector<Extent> mergedExtents() const {
+    return mpi::normalizeOverlapping(extents_);
+  }
+
+  const std::byte* data() const { return data_.data(); }
+  Bytes size() const { return segment_size_; }
+
+  /// Empties the buffer (after its content was shipped to level-2).
+  void reset() {
+    extents_.clear();
+    segment_ = -1;
+  }
+
+ private:
+  Bytes segment_size_;
+  std::vector<std::byte> data_;
+  std::vector<Extent> extents_;
+  SegmentId segment_ = -1;
+};
+
+}  // namespace tcio::core

@@ -1,0 +1,7 @@
+// Umbrella header for the TCIO library.
+#pragma once
+
+#include "tcio/capi.h"         // IWYU pragma: export
+#include "tcio/config.h"       // IWYU pragma: export
+#include "tcio/file.h"         // IWYU pragma: export
+#include "tcio/segment_map.h"  // IWYU pragma: export

@@ -1,0 +1,354 @@
+#include "workload/synthetic.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/memory_tracker.h"
+#include "mpiio/file.h"
+#include "tcio/file.h"
+
+namespace tcio::workload {
+
+namespace {
+
+Bytes blockSize(const BenchmarkConfig& cfg) {
+  Bytes sum = 0;
+  for (Bytes s : cfg.array_elem_sizes) sum += s;
+  return sum * cfg.size_access;
+}
+
+std::byte elementByte(int rank, std::size_t array, std::int64_t element,
+                      Bytes byte_in_elem) {
+  return static_cast<std::byte>(
+      (rank * 131 + static_cast<std::int64_t>(array) * 17 + element * 7 +
+       byte_in_elem * 3) %
+      251);
+}
+
+/// Fills this rank's in-memory arrays (application data, charged to the
+/// memory budget by the caller).
+std::vector<std::vector<std::byte>> makeArrays(int rank,
+                                               const BenchmarkConfig& cfg) {
+  std::vector<std::vector<std::byte>> arrays;
+  arrays.reserve(cfg.array_elem_sizes.size());
+  for (std::size_t j = 0; j < cfg.array_elem_sizes.size(); ++j) {
+    const Bytes esize = cfg.array_elem_sizes[j];
+    std::vector<std::byte> a(
+        static_cast<std::size_t>(cfg.len_array * esize));
+    for (std::int64_t i = 0; i < cfg.len_array; ++i) {
+      for (Bytes b = 0; b < esize; ++b) {
+        a[static_cast<std::size_t>(i * esize + b)] =
+            elementByte(rank, j, i, b);
+      }
+    }
+    arrays.push_back(std::move(a));
+  }
+  return arrays;
+}
+
+Bytes arraysBytes(const BenchmarkConfig& cfg) {
+  Bytes total = 0;
+  for (Bytes s : cfg.array_elem_sizes) total += s * cfg.len_array;
+  return total;
+}
+
+core::TcioConfig sizedTcio(const BenchmarkConfig& cfg, int P) {
+  // Size the level-2 buffer to exactly the file domain / P — the paper's
+  // setting ("the size of the level-2 buffer equals the size of the
+  // temporary buffer in OCIO").
+  core::TcioConfig t = cfg.tcio;
+  const Bytes file_size = totalFileSize(cfg, P);
+  t.segments_per_rank = std::max<std::int64_t>(
+      1, (file_size + t.segment_size * P - 1) / (t.segment_size * P));
+  return t;
+}
+
+// Programming-effort markers: the three write implementations below are
+// bracketed so measureProgrammingEffort() reports their true source spans.
+
+constexpr int kOcioWriteBegin = __LINE__ + 1;
+void ocioWrite(mpi::Comm& comm, fs::Filesystem& fsys,
+               const BenchmarkConfig& cfg,
+               const std::vector<std::vector<std::byte>>& arrays) {
+  const int P = comm.size();
+  const Bytes block = blockSize(cfg);
+  // 1. Create an application-level buffer and combine the arrays into it in
+  //    round-robin fashion (Program 2, steps 1-2).
+  const Bytes buf_bytes = arraysBytes(cfg);
+  ScopedAllocation charge(comm.memory(), buf_bytes,
+                          "OCIO application-level combine buffer");
+  std::vector<std::byte> buffer(static_cast<std::size_t>(buf_bytes));
+  Bytes cursor = 0;
+  for (std::int64_t i = 0; i < cfg.len_array; i += cfg.size_access) {
+    for (std::size_t j = 0; j < arrays.size(); ++j) {
+      const Bytes n = cfg.array_elem_sizes[j] * cfg.size_access;
+      std::memcpy(buffer.data() + cursor,
+                  arrays[j].data() + i * cfg.array_elem_sizes[j],
+                  static_cast<std::size_t>(n));
+      cursor += n;
+    }
+  }
+  comm.chargeCopy(buf_bytes);
+  // 2. Open, describe the access pattern with derived datatypes, set the
+  //    file view (steps 3-10).
+  io::MpioFile f = io::MpioFile::open(comm, fsys, cfg.file_name,
+                                      fs::kWrite | fs::kCreate);
+  auto etype = mpi::Datatype::contiguous(block, mpi::Datatype::byte()).commit();
+  auto filetype = mpi::Datatype::vector(cfg.len_array / cfg.size_access, 1, P,
+                                        etype)
+                      .commit();
+  f.setView(comm.rank() * block, etype, filetype);
+  // 3. One collective write of the whole buffer, then close (steps 11-13).
+  f.writeAtAll(0, buffer.data(), buf_bytes);
+  f.close();
+}
+constexpr int kOcioWriteEnd = __LINE__ - 1;
+
+constexpr int kTcioWriteBegin = __LINE__ + 1;
+void tcioWrite(mpi::Comm& comm, fs::Filesystem& fsys,
+               const BenchmarkConfig& cfg,
+               const std::vector<std::vector<std::byte>>& arrays) {
+  const Bytes block = blockSize(cfg);
+  core::File f(comm, fsys, cfg.file_name, fs::kWrite | fs::kCreate,
+               sizedTcio(cfg, comm.size()));
+  for (std::int64_t i = 0; i < cfg.len_array; i += cfg.size_access) {
+    Offset pos = comm.rank() * block + (i / cfg.size_access) *
+                                           static_cast<Offset>(block) *
+                                           comm.size();
+    for (std::size_t j = 0; j < arrays.size(); ++j) {
+      const Bytes n = cfg.array_elem_sizes[j] * cfg.size_access;
+      f.writeAt(pos, arrays[j].data() + i * cfg.array_elem_sizes[j], n);
+      pos += n;
+    }
+  }
+  f.close();
+}
+constexpr int kTcioWriteEnd = __LINE__ - 1;
+
+constexpr int kMpiioWriteBegin = __LINE__ + 1;
+void mpiioWrite(mpi::Comm& comm, fs::Filesystem& fsys,
+                const BenchmarkConfig& cfg,
+                const std::vector<std::vector<std::byte>>& arrays) {
+  const Bytes block = blockSize(cfg);
+  io::MpioFile f = io::MpioFile::open(comm, fsys, cfg.file_name,
+                                      fs::kWrite | fs::kCreate);
+  for (std::int64_t i = 0; i < cfg.len_array; i += cfg.size_access) {
+    Offset pos = comm.rank() * block + (i / cfg.size_access) *
+                                           static_cast<Offset>(block) *
+                                           comm.size();
+    for (std::size_t j = 0; j < arrays.size(); ++j) {
+      const Bytes n = cfg.array_elem_sizes[j] * cfg.size_access;
+      f.writeAt(pos, arrays[j].data() + i * cfg.array_elem_sizes[j], n);
+      pos += n;
+    }
+  }
+  f.close();
+}
+constexpr int kMpiioWriteEnd = __LINE__ - 1;
+
+void verifyArrays(int rank, const BenchmarkConfig& cfg,
+                  const std::vector<std::vector<std::byte>>& arrays) {
+  for (std::size_t j = 0; j < arrays.size(); ++j) {
+    const Bytes esize = cfg.array_elem_sizes[j];
+    for (std::int64_t i = 0; i < cfg.len_array; ++i) {
+      for (Bytes b = 0; b < esize; ++b) {
+        const std::byte want = elementByte(rank, j, i, b);
+        const std::byte got =
+            arrays[j][static_cast<std::size_t>(i * esize + b)];
+        TCIO_CHECK_MSG(got == want,
+                       "synthetic benchmark verification failed (rank " +
+                           std::to_string(rank) + ", array " +
+                           std::to_string(j) + ", element " +
+                           std::to_string(i) + ")");
+      }
+    }
+  }
+}
+
+void ocioRead(mpi::Comm& comm, fs::Filesystem& fsys,
+              const BenchmarkConfig& cfg,
+              std::vector<std::vector<std::byte>>& arrays) {
+  const int P = comm.size();
+  const Bytes block = blockSize(cfg);
+  const Bytes buf_bytes = arraysBytes(cfg);
+  ScopedAllocation charge(comm.memory(), buf_bytes,
+                          "OCIO application-level combine buffer");
+  std::vector<std::byte> buffer(static_cast<std::size_t>(buf_bytes));
+  io::MpioFile f = io::MpioFile::open(comm, fsys, cfg.file_name, fs::kRead);
+  auto etype = mpi::Datatype::contiguous(block, mpi::Datatype::byte()).commit();
+  auto filetype = mpi::Datatype::vector(cfg.len_array / cfg.size_access, 1, P,
+                                        etype)
+                      .commit();
+  f.setView(comm.rank() * block, etype, filetype);
+  f.readAtAll(0, buffer.data(), buf_bytes);
+  f.close();
+  // Scatter the combined buffer back into the arrays.
+  Bytes cursor = 0;
+  for (std::int64_t i = 0; i < cfg.len_array; i += cfg.size_access) {
+    for (std::size_t j = 0; j < arrays.size(); ++j) {
+      const Bytes n = cfg.array_elem_sizes[j] * cfg.size_access;
+      std::memcpy(arrays[j].data() + i * cfg.array_elem_sizes[j],
+                  buffer.data() + cursor, static_cast<std::size_t>(n));
+      cursor += n;
+    }
+  }
+  comm.chargeCopy(buf_bytes);
+}
+
+void tcioRead(mpi::Comm& comm, fs::Filesystem& fsys,
+              const BenchmarkConfig& cfg,
+              std::vector<std::vector<std::byte>>& arrays) {
+  const Bytes block = blockSize(cfg);
+  core::File f(comm, fsys, cfg.file_name, fs::kRead,
+               sizedTcio(cfg, comm.size()));
+  for (std::int64_t i = 0; i < cfg.len_array; i += cfg.size_access) {
+    Offset pos = comm.rank() * block + (i / cfg.size_access) *
+                                           static_cast<Offset>(block) *
+                                           comm.size();
+    for (std::size_t j = 0; j < arrays.size(); ++j) {
+      const Bytes n = cfg.array_elem_sizes[j] * cfg.size_access;
+      f.readAt(pos, arrays[j].data() + i * cfg.array_elem_sizes[j], n);
+      pos += n;
+    }
+  }
+  f.fetch();
+  f.close();
+}
+
+void mpiioRead(mpi::Comm& comm, fs::Filesystem& fsys,
+               const BenchmarkConfig& cfg,
+               std::vector<std::vector<std::byte>>& arrays) {
+  const Bytes block = blockSize(cfg);
+  io::MpioFile f = io::MpioFile::open(comm, fsys, cfg.file_name, fs::kRead);
+  for (std::int64_t i = 0; i < cfg.len_array; i += cfg.size_access) {
+    Offset pos = comm.rank() * block + (i / cfg.size_access) *
+                                           static_cast<Offset>(block) *
+                                           comm.size();
+    for (std::size_t j = 0; j < arrays.size(); ++j) {
+      const Bytes n = cfg.array_elem_sizes[j] * cfg.size_access;
+      f.readAt(pos, arrays[j].data() + i * cfg.array_elem_sizes[j], n);
+      pos += n;
+    }
+  }
+  f.close();
+}
+
+/// Aggregate phase makespan: barrier, run, barrier, max over ranks.
+template <typename Body>
+PhaseResult timedPhase(mpi::Comm& comm, const BenchmarkConfig& cfg,
+                       const Body& body) {
+  comm.barrier();
+  const SimTime t0 = comm.proc().now();
+  body();
+  comm.barrier();
+  double elapsed = comm.proc().now() - t0;
+  comm.allreduce(&elapsed, 1, mpi::ReduceOp::kMax);
+  PhaseResult res;
+  res.seconds = elapsed;
+  res.file_size = totalFileSize(cfg, comm.size());
+  res.throughput_mbps =
+      elapsed > 0 ? static_cast<double>(res.file_size) / elapsed / 1e6 : 0;
+  return res;
+}
+
+}  // namespace
+
+std::vector<Bytes> parseTypeArray(const std::string& spec) {
+  std::vector<Bytes> sizes;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c == ',' || c == ' ') continue;
+    switch (c) {
+      case 'c': sizes.push_back(1); break;
+      case 's': sizes.push_back(2); break;
+      case 'i': sizes.push_back(4); break;
+      case 'f': sizes.push_back(4); break;
+      case 'd': sizes.push_back(8); break;
+      default:
+        throw Error(std::string("unknown TYPEarray code '") + c +
+                    "' (expected c, s, i, f, or d)");
+    }
+  }
+  TCIO_CHECK_MSG(!sizes.empty(), "empty TYPEarray specification");
+  return sizes;
+}
+
+Bytes totalFileSize(const BenchmarkConfig& cfg, int num_ranks) {
+  return arraysBytes(cfg) * num_ranks;
+}
+
+std::byte expectedByte(const BenchmarkConfig& cfg, int num_ranks, Offset off) {
+  const Bytes block = blockSize(cfg);
+  const std::int64_t round = off / (block * num_ranks);
+  const Offset within = off % (block * num_ranks);
+  const int rank = static_cast<int>(within / block);
+  Offset in_block = within % block;
+  for (std::size_t j = 0; j < cfg.array_elem_sizes.size(); ++j) {
+    const Bytes n = cfg.array_elem_sizes[j] * cfg.size_access;
+    if (in_block < n) {
+      const std::int64_t elem =
+          round * cfg.size_access + in_block / cfg.array_elem_sizes[j];
+      const Bytes b = in_block % cfg.array_elem_sizes[j];
+      return elementByte(rank, j, elem, b);
+    }
+    in_block -= n;
+  }
+  TCIO_CHECK_MSG(false, "expectedByte: offset beyond block layout");
+  return std::byte{0};
+}
+
+PhaseResult runWritePhase(mpi::Comm& comm, fs::Filesystem& fsys,
+                          const BenchmarkConfig& cfg) {
+  TCIO_CHECK_MSG(cfg.len_array % cfg.size_access == 0,
+                 "LENarray must be a multiple of SIZEaccess");
+  // Application data, charged against the per-rank budget in every method.
+  ScopedAllocation app_charge(comm.memory(), arraysBytes(cfg),
+                              "application arrays");
+  const auto arrays = makeArrays(comm.rank(), cfg);
+  return timedPhase(comm, cfg, [&] {
+    switch (cfg.method) {
+      case Method::kOcio: ocioWrite(comm, fsys, cfg, arrays); break;
+      case Method::kTcio: tcioWrite(comm, fsys, cfg, arrays); break;
+      case Method::kMpiio: mpiioWrite(comm, fsys, cfg, arrays); break;
+    }
+  });
+}
+
+PhaseResult runReadPhase(mpi::Comm& comm, fs::Filesystem& fsys,
+                         const BenchmarkConfig& cfg) {
+  TCIO_CHECK_MSG(cfg.len_array % cfg.size_access == 0,
+                 "LENarray must be a multiple of SIZEaccess");
+  ScopedAllocation app_charge(comm.memory(), arraysBytes(cfg),
+                              "application arrays");
+  std::vector<std::vector<std::byte>> arrays(cfg.array_elem_sizes.size());
+  for (std::size_t j = 0; j < arrays.size(); ++j) {
+    arrays[j].resize(
+        static_cast<std::size_t>(cfg.len_array * cfg.array_elem_sizes[j]));
+  }
+  const PhaseResult res = timedPhase(comm, cfg, [&] {
+    switch (cfg.method) {
+      case Method::kOcio: ocioRead(comm, fsys, cfg, arrays); break;
+      case Method::kTcio: tcioRead(comm, fsys, cfg, arrays); break;
+      case Method::kMpiio: mpiioRead(comm, fsys, cfg, arrays); break;
+    }
+  });
+  verifyArrays(comm.rank(), cfg, arrays);
+  return res;
+}
+
+EffortReport measureProgrammingEffort() {
+  EffortReport r;
+  r.ocio_lines = kOcioWriteEnd - kOcioWriteBegin + 1;
+  r.tcio_lines = kTcioWriteEnd - kTcioWriteBegin + 1;
+  r.mpiio_lines = kMpiioWriteEnd - kMpiioWriteBegin + 1;
+  // Distinct I/O-stack API entry points each program needs (paper §V.B.1):
+  // OCIO: open, Type_contiguous, Type_commit, Type_vector, Type_commit,
+  //       set_view, write_all, close, plus buffer create/fill/release.
+  r.ocio_api_calls = 11;
+  // TCIO: open, write_at, close.
+  r.tcio_api_calls = 3;
+  return r;
+}
+
+}  // namespace tcio::workload

@@ -1,0 +1,81 @@
+// The paper's synthetic benchmark (§V.B, Table I): NUMarray in-memory arrays
+// of mixed element types per process, interleaved round-robin into a shared
+// file, SIZEaccess elements per I/O call.
+//
+// Three method implementations, exactly as the paper compares them:
+//   * OCIO  — Program 2: combine into an application-level buffer, define a
+//             derived-datatype file view, one collective MPI-IO call;
+//   * TCIO  — Program 3: per-datum POSIX-like tcio calls, no buffers, no
+//             views;
+//   * MPIIO — vanilla independent MPI-IO, one call per datum.
+//
+// Data values are a deterministic function of (rank, array, element) so
+// every run can be verified byte-for-byte against expectedFileContents().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "fs/filesystem.h"
+#include "mpi/comm.h"
+#include "tcio/config.h"
+
+namespace tcio::workload {
+
+enum class Method { kOcio, kTcio, kMpiio };
+
+/// Table I configuration parameters.
+struct BenchmarkConfig {
+  Method method = Method::kTcio;
+  /// NUMarray and TYPEarray: element size in bytes per array
+  /// (c=1, s=2, i=4, f=4, d=8). Default "i,d" as in Table II.
+  std::vector<Bytes> array_elem_sizes = {4, 8};
+  /// LENarray: elements per array (per process).
+  std::int64_t len_array = 1024;
+  /// SIZEaccess: elements per I/O call.
+  std::int64_t size_access = 1;
+  /// TCIO parameters (used when method == kTcio).
+  core::TcioConfig tcio;
+  /// File name inside the simulated FS.
+  std::string file_name = "synthetic.dat";
+};
+
+/// Phase timings measured across barriers (aggregate makespan of the phase).
+struct PhaseResult {
+  SimTime seconds = 0;
+  Bytes file_size = 0;
+  double throughput_mbps = 0;  // file_size / seconds / 1e6
+};
+
+/// Collective: every rank writes its arrays with the configured method.
+/// Includes open and close (TCIO data reaches the file system at close).
+PhaseResult runWritePhase(mpi::Comm& comm, fs::Filesystem& fsys,
+                          const BenchmarkConfig& cfg);
+
+/// Collective: every rank reads its arrays back and verifies them.
+PhaseResult runReadPhase(mpi::Comm& comm, fs::Filesystem& fsys,
+                         const BenchmarkConfig& cfg);
+
+/// Parses a Table I TYPEarray string ("i,d", "c,s,i,f,d") into element
+/// sizes: c=1, s=2, i=4, f=4, d=8. Throws on unknown type codes.
+std::vector<Bytes> parseTypeArray(const std::string& spec);
+
+/// Total bytes the benchmark writes (the shared file size).
+Bytes totalFileSize(const BenchmarkConfig& cfg, int num_ranks);
+
+/// The deterministic byte at file offset `off` (for verification).
+std::byte expectedByte(const BenchmarkConfig& cfg, int num_ranks, Offset off);
+
+/// Source-line counts of the three method implementations in this file's
+/// .cc — measured, not estimated (programming-effort comparison).
+struct EffortReport {
+  int ocio_lines = 0;
+  int tcio_lines = 0;
+  int mpiio_lines = 0;
+  int ocio_api_calls = 0;   // distinct I/O-stack API calls Program 2 needs
+  int tcio_api_calls = 0;   // distinct calls Program 3 needs
+};
+EffortReport measureProgrammingEffort();
+
+}  // namespace tcio::workload

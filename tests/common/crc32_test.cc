@@ -1,0 +1,42 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace tcio {
+namespace {
+
+std::vector<std::byte> bytesOf(const char* s) {
+  std::vector<std::byte> out(std::strlen(s));
+  std::memcpy(out.data(), s, out.size());
+  return out;
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard test vector: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(crc32(bytesOf("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytesOf("")), 0u);
+  EXPECT_EQ(crc32(bytesOf("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const auto all = bytesOf("hello, collective world");
+  const std::uint32_t one_shot = crc32(all);
+  const std::uint32_t part1 =
+      crc32(std::span<const std::byte>(all.data(), 5));
+  const std::uint32_t chained = crc32(
+      std::span<const std::byte>(all.data() + 5, all.size() - 5), part1);
+  EXPECT_EQ(chained, one_shot);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  auto data = bytesOf("checkpoint payload");
+  const std::uint32_t before = crc32(data);
+  data[7] ^= std::byte{0x01};
+  EXPECT_NE(crc32(data), before);
+}
+
+}  // namespace
+}  // namespace tcio

@@ -1,0 +1,42 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace tcio {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(TCIO_CHECK(1 + 1 == 2));
+}
+
+TEST(ErrorTest, CheckThrowsOnFalse) {
+  EXPECT_THROW(TCIO_CHECK(false), Error);
+}
+
+TEST(ErrorTest, CheckMessageContainsExpressionAndLocation) {
+  try {
+    TCIO_CHECK_MSG(2 < 1, "custom context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cc"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, OutOfMemoryBudgetCarriesCounts) {
+  OutOfMemoryBudget e("oom", 100, 40);
+  EXPECT_EQ(e.requested_bytes, 100);
+  EXPECT_EQ(e.available_bytes, 40);
+  EXPECT_STREQ(e.what(), "oom");
+}
+
+TEST(ErrorTest, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw FsError("fs"), Error);
+  EXPECT_THROW(throw MpiError("mpi"), Error);
+  EXPECT_THROW(throw DeadlockError("dl"), Error);
+}
+
+}  // namespace
+}  // namespace tcio

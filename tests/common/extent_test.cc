@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace tcio {
+namespace {
+
+TEST(ExtentTest, SizeAndEmpty) {
+  EXPECT_EQ((Extent{0, 10}.size()), 10);
+  EXPECT_TRUE((Extent{5, 5}.empty()));
+  EXPECT_FALSE((Extent{5, 6}.empty()));
+}
+
+TEST(ExtentTest, ContainsIsHalfOpen) {
+  Extent e{10, 20};
+  EXPECT_FALSE(e.contains(9));
+  EXPECT_TRUE(e.contains(10));
+  EXPECT_TRUE(e.contains(19));
+  EXPECT_FALSE(e.contains(20));
+}
+
+TEST(ExtentTest, OverlapCases) {
+  Extent a{0, 10};
+  EXPECT_TRUE(a.overlaps({5, 15}));
+  EXPECT_TRUE(a.overlaps({0, 1}));
+  EXPECT_FALSE(a.overlaps({10, 20}));  // touching is not overlapping
+  EXPECT_FALSE(a.overlaps({20, 30}));
+}
+
+TEST(ExtentTest, IntersectProducesEmptyWhenDisjoint) {
+  const Extent r = intersect({0, 10}, {20, 30});
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ExtentTest, IntersectOverlapping) {
+  const Extent r = intersect({0, 10}, {5, 30});
+  EXPECT_EQ(r, (Extent{5, 10}));
+}
+
+TEST(ExtentTest, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024);
+  EXPECT_EQ(1_MiB, 1024 * 1024);
+  EXPECT_EQ(48_GiB, 48LL * 1024 * 1024 * 1024);
+}
+
+TEST(ExtentTest, TimeLiterals) {
+  EXPECT_DOUBLE_EQ(2_us, 2e-6);
+  EXPECT_DOUBLE_EQ(1.5_ms, 1.5e-3);
+}
+
+}  // namespace
+}  // namespace tcio

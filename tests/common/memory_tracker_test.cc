@@ -1,0 +1,83 @@
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace tcio {
+namespace {
+
+TEST(MemoryTrackerTest, TracksUsedAndPeak) {
+  MemoryTracker t(1000);
+  t.allocate(300, "a");
+  t.allocate(400, "b");
+  EXPECT_EQ(t.used(), 700);
+  EXPECT_EQ(t.peak(), 700);
+  t.release(400);
+  EXPECT_EQ(t.used(), 300);
+  EXPECT_EQ(t.peak(), 700);
+}
+
+TEST(MemoryTrackerTest, ThrowsWhenBudgetExceeded) {
+  MemoryTracker t(100);
+  t.allocate(60, "a");
+  try {
+    t.allocate(50, "aggregator buffer");
+    FAIL() << "expected OutOfMemoryBudget";
+  } catch (const OutOfMemoryBudget& e) {
+    EXPECT_EQ(e.requested_bytes, 50);
+    EXPECT_EQ(e.available_bytes, 40);
+    EXPECT_NE(std::string(e.what()).find("aggregator buffer"),
+              std::string::npos);
+  }
+  // Failed allocation must not be charged.
+  EXPECT_EQ(t.used(), 60);
+}
+
+TEST(MemoryTrackerTest, ZeroBudgetMeansUnlimited) {
+  MemoryTracker t(0);
+  EXPECT_NO_THROW(t.allocate(1'000'000'000, "huge"));
+}
+
+TEST(MemoryTrackerTest, ExactBudgetFits) {
+  MemoryTracker t(100);
+  EXPECT_NO_THROW(t.allocate(100, "exact"));
+  EXPECT_THROW(t.allocate(1, "extra"), OutOfMemoryBudget);
+}
+
+TEST(MemoryTrackerTest, ReleaseMoreThanUsedIsAnError) {
+  MemoryTracker t(100);
+  t.allocate(10, "a");
+  EXPECT_THROW(t.release(11), Error);
+}
+
+TEST(MemoryTrackerTest, ScopedAllocationReleasesOnDestruction) {
+  MemoryTracker t(100);
+  {
+    ScopedAllocation a(t, 80, "scoped");
+    EXPECT_EQ(t.used(), 80);
+  }
+  EXPECT_EQ(t.used(), 0);
+  EXPECT_EQ(t.peak(), 80);
+}
+
+TEST(MemoryTrackerTest, ScopedAllocationMoveTransfersOwnership) {
+  MemoryTracker t(100);
+  {
+    ScopedAllocation a(t, 40, "scoped");
+    ScopedAllocation b(std::move(a));
+    EXPECT_EQ(t.used(), 40);
+  }
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ResetPeakTracksFromCurrent) {
+  MemoryTracker t(0);
+  t.allocate(100, "a");
+  t.release(100);
+  t.resetPeak();
+  EXPECT_EQ(t.peak(), 0);
+  t.allocate(10, "b");
+  EXPECT_EQ(t.peak(), 10);
+}
+
+}  // namespace
+}  // namespace tcio

@@ -1,0 +1,45 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tcio {
+namespace {
+
+TEST(TableTest, PrintsHeaderAndAlignedRows) {
+  Table t("fig5.write");
+  t.header({"procs", "TCIO", "OCIO"});
+  t.row({"64", "300.5", "420.25"});
+  t.row({"1024", "900", "350"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== fig5.write =="), std::string::npos);
+  EXPECT_NE(out.find("fig5.write | procs"), std::string::npos);
+  EXPECT_NE(out.find("1024"), std::string::npos);
+}
+
+TEST(TableTest, RowfFormatsDoubles) {
+  Table t("x");
+  t.rowf({1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_NE(os.str().find("2.00"), std::string::npos);
+}
+
+TEST(TableTest, FormatBytesHumanReadable) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(768LL * 1024 * 1024), "768 MiB");
+  EXPECT_EQ(formatBytes(48LL * 1024 * 1024 * 1024), "48 GiB");
+  EXPECT_EQ(formatBytes(1536), "1.5 KiB");
+}
+
+TEST(TableTest, FormatDoublePrecision) {
+  EXPECT_EQ(formatDouble(3.14159, 3), "3.142");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace tcio

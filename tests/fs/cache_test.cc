@@ -1,0 +1,72 @@
+#include "fs/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace tcio::fs {
+namespace {
+
+TEST(ServerCacheTest, InsertThenFullyResident) {
+  ServerCache c(1000);
+  c.insert(1, 0, 100);
+  EXPECT_EQ(c.residentBytes(1, 0, 100), 100);
+  EXPECT_EQ(c.usedBytes(), 100);
+}
+
+TEST(ServerCacheTest, PartialOverlapCounted) {
+  ServerCache c(1000);
+  c.insert(1, 50, 100);
+  EXPECT_EQ(c.residentBytes(1, 0, 100), 50);
+  EXPECT_EQ(c.residentBytes(1, 100, 100), 50);
+  EXPECT_EQ(c.residentBytes(1, 200, 100), 0);
+}
+
+TEST(ServerCacheTest, FilesAreIndependent) {
+  ServerCache c(1000);
+  c.insert(1, 0, 100);
+  EXPECT_EQ(c.residentBytes(2, 0, 100), 0);
+}
+
+TEST(ServerCacheTest, AdjacentInsertsMerge) {
+  ServerCache c(1000);
+  c.insert(1, 0, 50);
+  c.insert(1, 50, 50);
+  EXPECT_EQ(c.residentBytes(1, 0, 100), 100);
+  EXPECT_EQ(c.usedBytes(), 100);
+}
+
+TEST(ServerCacheTest, ReinsertDoesNotDoubleCount) {
+  ServerCache c(1000);
+  c.insert(1, 0, 100);
+  c.insert(1, 20, 60);
+  EXPECT_EQ(c.usedBytes(), 100);
+}
+
+TEST(ServerCacheTest, EvictionKeepsUsageUnderCapacity) {
+  ServerCache c(250);
+  c.insert(1, 0, 100);
+  c.insert(1, 1000, 100);
+  c.insert(1, 2000, 100);  // forces eviction of the oldest extent
+  EXPECT_LE(c.usedBytes(), 250);
+  EXPECT_EQ(c.residentBytes(1, 2000, 100), 100);  // newest survives
+  EXPECT_EQ(c.residentBytes(1, 0, 100), 0);       // oldest evicted
+}
+
+TEST(ServerCacheTest, ZeroCapacityDisablesCache) {
+  ServerCache c(0);
+  c.insert(1, 0, 100);
+  EXPECT_EQ(c.residentBytes(1, 0, 100), 0);
+  EXPECT_EQ(c.usedBytes(), 0);
+}
+
+TEST(ServerCacheTest, OverlappingEvictionAccounting) {
+  ServerCache c(150);
+  c.insert(1, 0, 100);
+  c.insert(1, 50, 100);  // merged to [0,150), used = 150
+  EXPECT_EQ(c.usedBytes(), 150);
+  c.insert(1, 500, 100);  // evicts until under 150
+  EXPECT_LE(c.usedBytes(), 150);
+  EXPECT_EQ(c.residentBytes(1, 500, 100), 100);
+}
+
+}  // namespace
+}  // namespace tcio::fs

@@ -1,0 +1,136 @@
+// Cache-pressure, metadata-serialization, and multi-file behaviour of the
+// simulated file system.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fs/client.h"
+#include "mpi/runtime.h"
+
+namespace tcio::fs {
+namespace {
+
+mpi::JobConfig job(int p) {
+  mpi::JobConfig c;
+  c.num_ranks = p;
+  return c;
+}
+
+TEST(FsPressureTest, CacheEvictionMakesOldReadsCold) {
+  FsConfig cfg;
+  cfg.num_osts = 1;
+  cfg.stripe_size = 4096;
+  cfg.cache_capacity_per_ost = 64 * 1024;  // tiny cache
+  Filesystem fs(cfg);
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("old.dat", kRead | kWrite | kCreate);
+    std::vector<std::byte> first(32 * 1024, std::byte{1});
+    fc.pwrite(f, 0, first.data(), static_cast<Bytes>(first.size()));
+    // Write 4x the cache capacity elsewhere to evict the first region.
+    std::vector<std::byte> filler(64 * 1024, std::byte{2});
+    for (int i = 0; i < 4; ++i) {
+      fc.pwrite(f, 100 * 1024 + i * 64 * 1024, filler.data(),
+                static_cast<Bytes>(filler.size()));
+    }
+    fc.close(f);
+  });
+  const FsStats before = fs.stats();
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("old.dat", kRead);
+    std::vector<std::byte> buf(32 * 1024);
+    fc.pread(f, 0, buf.data(), static_cast<Bytes>(buf.size()));
+    for (auto b : buf) ASSERT_EQ(b, std::byte{1});  // data survives eviction
+    fc.close(f);
+  });
+  const FsStats after = fs.stats();
+  // The evicted region was read from disk, not cache.
+  EXPECT_EQ(after.bytes_read_from_cache, before.bytes_read_from_cache);
+  EXPECT_EQ(after.bytes_read - before.bytes_read, 32 * 1024);
+}
+
+TEST(FsPressureTest, MdsSerializesManyOpens) {
+  FsConfig cfg;
+  cfg.mds_open = 1e-3;
+  Filesystem fs(cfg);
+  SimTime t_many = 0;
+  mpi::runJob(job(32), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    comm.barrier();
+    FsFile f = fc.open("shared.dat", kWrite | kCreate);
+    comm.barrier();
+    if (comm.rank() == 0) t_many = comm.proc().now();
+    fc.close(f);
+  });
+  // 32 opens through one MDS at 1 ms each: at least ~32 ms of wall.
+  EXPECT_GE(t_many, 32 * 1e-3);
+}
+
+TEST(FsPressureTest, ManyFilesSpreadOverOsts) {
+  FsConfig cfg;
+  cfg.num_osts = 8;
+  Filesystem fs(cfg);
+  mpi::runJob(job(8), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    // Each rank creates its own file: start OSTs rotate round-robin, so
+    // per-file traffic lands on different OSTs and overlaps.
+    FsFile f = fc.open("file" + std::to_string(comm.rank()), kWrite | kCreate);
+    std::vector<std::byte> buf(256 * 1024, std::byte{1});
+    comm.barrier();
+    const SimTime t0 = comm.proc().now();
+    fc.pwrite(f, 0, buf.data(), static_cast<Bytes>(buf.size()));
+    const SimTime dt = comm.proc().now() - t0;
+    // No OST sharing: each write takes roughly the single-stream time.
+    const double single = 256.0 * 1024 / cfg.ost_write_bandwidth;
+    EXPECT_LT(dt, single * 3);
+    fc.close(f);
+  });
+}
+
+TEST(FsPressureTest, SharedFileSerializesOnOneOst) {
+  FsConfig cfg;
+  cfg.num_osts = 8;
+  cfg.default_stripe_count = 1;
+  Filesystem fs(cfg);
+  SimTime last = 0;
+  mpi::runJob(job(8), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("one.dat", kWrite | kCreate);
+    std::vector<std::byte> buf(256 * 1024, std::byte{1});
+    comm.barrier();
+    const SimTime t0 = comm.proc().now();
+    fc.pwrite(f, comm.rank() * 256 * 1024, buf.data(),
+              static_cast<Bytes>(buf.size()));
+    double dt = comm.proc().now() - t0;
+    comm.allreduce(&dt, 1, mpi::ReduceOp::kMax);
+    if (comm.rank() == 0) last = dt;
+    fc.close(f);
+  });
+  // All eight writes behind one OST: the slowest waits ~8x a single write.
+  const double single = 256.0 * 1024 / FsConfig{}.ost_write_bandwidth;
+  EXPECT_GT(last, single * 6);
+}
+
+TEST(FsPressureTest, TruncateResetsLocksToo) {
+  FsConfig cfg;
+  Filesystem fs(cfg);
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("t.dat", kWrite | kCreate);
+    const std::int64_t v = comm.rank();
+    fc.pwrite(f, comm.rank() * 8, &v, 8);  // both in one lock unit
+    fc.close(f);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      FsFile g = fc.open("t.dat", kWrite | kTruncate);
+      fc.pwrite(g, 0, &v, 8);
+      fc.close(g);
+    }
+  });
+  EXPECT_EQ(fs.peekSize("t.dat"), 8);
+  EXPECT_EQ(fs.revocations("t.dat"), 0);  // fresh lock table post-truncate
+}
+
+}  // namespace
+}  // namespace tcio::fs

@@ -1,0 +1,166 @@
+// Property tests of the file-system model: arbitrary write sequences match
+// a reference byte array; costs are monotone and deterministic.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "fs/client.h"
+#include "mpi/runtime.h"
+
+namespace tcio::fs {
+namespace {
+
+mpi::JobConfig job(int p) {
+  mpi::JobConfig c;
+  c.num_ranks = p;
+  return c;
+}
+
+class FsFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FsFuzzTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+TEST_P(FsFuzzTest, RandomWritesMatchReferenceModel) {
+  const std::uint64_t seed = GetParam();
+  FsConfig fcfg;
+  fcfg.num_osts = 5;
+  fcfg.stripe_size = 777;         // deliberately odd
+  fcfg.default_stripe_count = 3;  // multi-OST striping
+  Filesystem fs(fcfg);
+
+  Rng rng(seed);
+  std::map<Offset, std::byte> reference;
+  struct Write {
+    Offset off;
+    std::vector<std::byte> data;
+  };
+  std::vector<Write> writes;
+  for (int i = 0; i < 60; ++i) {
+    const Offset off = rng.uniformInt(0, 50'000);
+    const Bytes len = 1 + rng.uniformInt(0, 2000);
+    Write w{off, {}};
+    for (Bytes b = 0; b < len; ++b) {
+      const auto v = static_cast<std::byte>(rng.uniformInt(1, 250));
+      w.data.push_back(v);
+      reference[off + b] = v;
+    }
+    writes.push_back(std::move(w));
+  }
+
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("fuzz.dat", kRead | kWrite | kCreate);
+    SimTime last = comm.proc().now();
+    for (const Write& w : writes) {
+      fc.pwrite(f, w.off, w.data.data(), static_cast<Bytes>(w.data.size()));
+      // Clock must advance monotonically with every request.
+      EXPECT_GT(comm.proc().now(), last);
+      last = comm.proc().now();
+    }
+    fc.close(f);
+  });
+
+  // Every written byte reads back; unwritten bytes are zero.
+  const Bytes size = fs.peekSize("fuzz.dat");
+  std::vector<std::byte> contents(static_cast<std::size_t>(size));
+  fs.peek("fuzz.dat", 0, contents);
+  for (Offset i = 0; i < size; ++i) {
+    const auto it = reference.find(i);
+    const std::byte want = it == reference.end() ? std::byte{0} : it->second;
+    ASSERT_EQ(contents[static_cast<std::size_t>(i)], want) << "offset " << i;
+  }
+  EXPECT_EQ(size, reference.empty() ? 0 : reference.rbegin()->first + 1);
+}
+
+TEST(FsPropertyTest, CostScalesWithSize) {
+  FsConfig fcfg;
+  Filesystem fs(fcfg);
+  std::vector<SimTime> times;
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("scale.dat", kWrite | kCreate);
+    for (Bytes n : {1_KiB, 64_KiB, 1_MiB, 8_MiB}) {
+      std::vector<std::byte> buf(static_cast<std::size_t>(n), std::byte{1});
+      const SimTime t0 = comm.proc().now();
+      fc.pwrite(f, 0, buf.data(), n);
+      times.push_back(comm.proc().now() - t0);
+    }
+    fc.close(f);
+  });
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+  // Large writes approach bandwidth cost: 8 MiB at 500 MB/s ~ 16.8 ms.
+  EXPECT_NEAR(times.back(), 8.0 * 1024 * 1024 / 500e6, 5e-3);
+}
+
+TEST(FsPropertyTest, StripeMappingCoversAllOstsEvenly) {
+  // With stripe_count = num_osts, a long file touches every OST with equal
+  // byte counts.
+  FsConfig fcfg;
+  fcfg.num_osts = 6;
+  fcfg.stripe_size = 1024;
+  fcfg.default_stripe_count = 6;
+  Filesystem fs(fcfg);
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("even.dat", kWrite | kCreate);
+    std::vector<std::byte> buf(6 * 1024 * 4, std::byte{1});
+    fc.pwrite(f, 0, buf.data(), static_cast<Bytes>(buf.size()));
+    fc.close(f);
+  });
+  // 24 stripes over 6 OSTs -> each OST serves 4 requests (one per stripe).
+  EXPECT_EQ(fs.stats().write_requests, 24);
+}
+
+TEST(FsPropertyTest, DeterministicCostsAcrossRuns) {
+  auto once = [] {
+    FsConfig fcfg;
+    Filesystem fs(fcfg);
+    SimTime t = 0;
+    mpi::runJob(job(4), [&](mpi::Comm& comm) {
+      FsClient fc(fs, comm.proc());
+      FsFile f = fc.open("det.dat", kWrite | kCreate);
+      std::vector<std::byte> buf(10'000, std::byte{2});
+      fc.pwrite(f, comm.rank() * 10'000, buf.data(), 10'000);
+      fc.close(f);
+      comm.barrier();
+      if (comm.rank() == 0) t = comm.proc().now();
+    });
+    return t;
+  };
+  const SimTime first = once();
+  EXPECT_DOUBLE_EQ(once(), first);
+}
+
+TEST(FsPropertyTest, ReadWriteInterleavingKeepsDataConsistent) {
+  Filesystem fs{FsConfig{}};
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("rw.dat", kRead | kWrite | kCreate);
+    comm.barrier();
+    // Rank 0 writes generations into [0,8); rank 1 polls and must only ever
+    // observe a value that was actually written.
+    if (comm.rank() == 0) {
+      for (std::int64_t gen = 1; gen <= 20; ++gen) {
+        fc.pwrite(f, 0, &gen, 8);
+      }
+    } else {
+      std::int64_t last = 0;
+      for (int i = 0; i < 20; ++i) {
+        std::int64_t v = -1;
+        fc.pread(f, 0, &v, 8);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 20);
+        EXPECT_GE(v, last);  // generations only move forward
+        last = v;
+      }
+    }
+    fc.close(f);
+  });
+}
+
+}  // namespace
+}  // namespace tcio::fs

@@ -1,0 +1,89 @@
+#include "fs/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace tcio::fs {
+namespace {
+
+FsConfig cfg() {
+  FsConfig c;
+  c.stripe_size = 100;
+  c.lock_grant = 1.0;
+  c.lock_revoke = 10.0;
+  return c;
+}
+
+TEST(LockManagerTest, FirstWriteGrantsPerUnit) {
+  const FsConfig c = cfg();
+  LockManager lm(c);
+  const auto cost = lm.acquireWrite(0, 0, 250);  // units 0,1,2
+  EXPECT_FALSE(cost.revoked);
+  EXPECT_DOUBLE_EQ(cost.delay, 3.0);
+  EXPECT_EQ(lm.grants(), 3);
+}
+
+TEST(LockManagerTest, RepeatedWriteBySameOwnerIsFree) {
+  const FsConfig c = cfg();
+  LockManager lm(c);
+  lm.acquireWrite(0, 0, 100);
+  const auto cost = lm.acquireWrite(0, 10, 20);
+  EXPECT_DOUBLE_EQ(cost.delay, 0.0);
+}
+
+TEST(LockManagerTest, WriteByOtherClientRevokes) {
+  const FsConfig c = cfg();
+  LockManager lm(c);
+  lm.acquireWrite(0, 0, 100);
+  const auto cost = lm.acquireWrite(1, 0, 100);
+  EXPECT_TRUE(cost.revoked);
+  EXPECT_DOUBLE_EQ(cost.delay, 11.0);  // revoke + grant
+  EXPECT_EQ(lm.revocations(), 1);
+}
+
+TEST(LockManagerTest, PingPongCostsEveryTime) {
+  const FsConfig c = cfg();
+  LockManager lm(c);
+  for (int i = 0; i < 10; ++i) {
+    lm.acquireWrite(i % 2, 0, 50);
+  }
+  EXPECT_EQ(lm.revocations(), 9);
+}
+
+TEST(LockManagerTest, ReadersShare) {
+  const FsConfig c = cfg();
+  LockManager lm(c);
+  const auto c1 = lm.acquireRead(0, 0, 100);
+  const auto c2 = lm.acquireRead(1, 0, 100);
+  EXPECT_FALSE(c1.revoked);
+  EXPECT_FALSE(c2.revoked);
+  const auto c3 = lm.acquireRead(0, 0, 100);  // already holds it
+  EXPECT_DOUBLE_EQ(c3.delay, 0.0);
+}
+
+TEST(LockManagerTest, ReadAfterForeignWriteRevokesWriter) {
+  const FsConfig c = cfg();
+  LockManager lm(c);
+  lm.acquireWrite(0, 0, 100);
+  const auto cost = lm.acquireRead(1, 0, 100);
+  EXPECT_TRUE(cost.revoked);
+}
+
+TEST(LockManagerTest, WriteAfterForeignReadsRevokesReaders) {
+  const FsConfig c = cfg();
+  LockManager lm(c);
+  lm.acquireRead(1, 0, 100);
+  lm.acquireRead(2, 0, 100);
+  const auto cost = lm.acquireWrite(0, 0, 100);
+  EXPECT_TRUE(cost.revoked);
+}
+
+TEST(LockManagerTest, DisjointUnitsDoNotConflict) {
+  const FsConfig c = cfg();
+  LockManager lm(c);
+  lm.acquireWrite(0, 0, 100);
+  const auto cost = lm.acquireWrite(1, 100, 100);  // next unit
+  EXPECT_FALSE(cost.revoked);
+}
+
+}  // namespace
+}  // namespace tcio::fs

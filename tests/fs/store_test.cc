@@ -1,0 +1,81 @@
+#include "fs/store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcio::fs {
+namespace {
+
+std::vector<std::byte> bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(SparseStoreTest, WriteReadRoundTrip) {
+  SparseStore s;
+  const auto data = bytes({1, 2, 3, 4, 5});
+  s.write(100, data);
+  std::vector<std::byte> out(5);
+  s.read(100, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(s.size(), 105);
+}
+
+TEST(SparseStoreTest, HolesReadAsZero) {
+  SparseStore s;
+  s.write(1000, bytes({7}));
+  std::vector<std::byte> out(3);
+  s.read(500, out);
+  EXPECT_EQ(out, bytes({0, 0, 0}));
+}
+
+TEST(SparseStoreTest, CrossPageBoundary) {
+  SparseStore s;
+  const Offset off = SparseStore::kPageSize - 2;
+  s.write(off, bytes({1, 2, 3, 4}));
+  std::vector<std::byte> out(4);
+  s.read(off, out);
+  EXPECT_EQ(out, bytes({1, 2, 3, 4}));
+}
+
+TEST(SparseStoreTest, OverwriteReplacesBytes) {
+  SparseStore s;
+  s.write(0, bytes({1, 1, 1, 1}));
+  s.write(1, bytes({9, 9}));
+  std::vector<std::byte> out(4);
+  s.read(0, out);
+  EXPECT_EQ(out, bytes({1, 9, 9, 1}));
+}
+
+TEST(SparseStoreTest, LargeMultiPageWrite) {
+  SparseStore s;
+  std::vector<std::byte> data(300'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i % 251);
+  }
+  s.write(12345, data);
+  std::vector<std::byte> out(data.size());
+  s.read(12345, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(SparseStoreTest, ClearResetsEverything) {
+  SparseStore s;
+  s.write(0, bytes({1, 2, 3}));
+  s.clear();
+  EXPECT_EQ(s.size(), 0);
+  std::vector<std::byte> out(3);
+  s.read(0, out);
+  EXPECT_EQ(out, bytes({0, 0, 0}));
+}
+
+TEST(SparseStoreTest, AllocationIsLazyAndPageGranular) {
+  SparseStore s;
+  s.write(10 * SparseStore::kPageSize, bytes({1}));
+  EXPECT_EQ(s.allocatedBytes(), SparseStore::kPageSize);
+}
+
+}  // namespace
+}  // namespace tcio::fs

@@ -1,0 +1,277 @@
+// Cross-module integration tests: scenarios that exercise the whole stack
+// (engine + network + MPI + FS + MPI-IO + TCIO + ART) together.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "art/checkpoint.h"
+#include "fs/client.h"
+#include "mpi/mpi.h"
+#include "mpiio/file.h"
+#include "tcio/tcio.h"
+#include "workload/synthetic.h"
+
+namespace tcio {
+namespace {
+
+fs::FsConfig fsCfg() {
+  fs::FsConfig c;
+  c.num_osts = 4;
+  c.stripe_size = 4096;
+  return c;
+}
+
+mpi::JobConfig job(int p, std::uint64_t seed = 1) {
+  mpi::JobConfig c;
+  c.num_ranks = p;
+  c.seed = seed;
+  return c;
+}
+
+core::TcioConfig tcioCfg() {
+  core::TcioConfig c;
+  c.segment_size = 4096;
+  c.segments_per_rank = 16;
+  return c;
+}
+
+TEST(FullStackTest, WriteWithEightRanksReadWithFour) {
+  // The file format is rank-count independent: a snapshot written by an
+  // 8-rank job must restore exactly in a 4-rank job (different segment
+  // round-robin, different level-2 layout).
+  fs::Filesystem fsys(fsCfg());
+  const Bytes per_rank = 2000;
+  mpi::runJob(job(8), [&](mpi::Comm& comm) {
+    core::File f(comm, fsys, "x.dat", fs::kWrite | fs::kCreate, tcioCfg());
+    std::vector<std::byte> mine(static_cast<std::size_t>(per_rank));
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = static_cast<std::byte>((comm.rank() * 31 + i) % 251);
+    }
+    f.writeAt(comm.rank() * per_rank, mine.data(), per_rank);
+    f.close();
+  });
+  mpi::runJob(job(4), [&](mpi::Comm& comm) {
+    core::File f(comm, fsys, "x.dat", fs::kRead, tcioCfg());
+    // Each of the 4 ranks reads two of the original 8 ranks' regions.
+    for (int orig = comm.rank() * 2; orig < comm.rank() * 2 + 2; ++orig) {
+      std::vector<std::byte> got(static_cast<std::size_t>(per_rank));
+      f.readAt(orig * per_rank, got.data(), per_rank);
+      f.fetch();
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], static_cast<std::byte>((orig * 31 + i) % 251))
+            << "orig rank " << orig << " byte " << i;
+      }
+    }
+    f.close();
+  });
+}
+
+TEST(FullStackTest, TcioFileReadableThroughPlainMpiio) {
+  // TCIO writes plain bytes: an MPI-IO (or POSIX) reader sees the same file.
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(4), [&](mpi::Comm& comm) {
+    {
+      core::File f(comm, fsys, "plain.dat", fs::kWrite | fs::kCreate,
+                   tcioCfg());
+      const std::int64_t v = comm.rank() * 11;
+      f.writeAt(comm.rank() * 8, &v, 8);
+      f.close();
+    }
+    io::MpioFile f = io::MpioFile::open(comm, fsys, "plain.dat", fs::kRead);
+    std::int64_t got = -1;
+    f.readAt(((comm.rank() + 1) % 4) * 8, &got, 8);
+    EXPECT_EQ(got, ((comm.rank() + 1) % 4) * 11);
+    f.close();
+  });
+}
+
+TEST(FullStackTest, OcioFileReadableThroughTcio) {
+  fs::Filesystem fsys(fsCfg());
+  const int P = 4;
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    {
+      io::MpioFile f = io::MpioFile::open(comm, fsys, "o2t.dat",
+                                          fs::kWrite | fs::kCreate);
+      std::vector<std::int32_t> data(32);
+      std::iota(data.begin(), data.end(), comm.rank() * 100);
+      f.writeAtAll(comm.rank() * 128, data.data(), 128);
+      f.close();
+    }
+    core::File f(comm, fsys, "o2t.dat", fs::kRead, tcioCfg());
+    std::int32_t got = -1;
+    const int peer = (comm.rank() + 2) % P;
+    f.readAt(peer * 128 + 4 * 5, &got, 4);  // peer's 6th int
+    f.fetch();
+    EXPECT_EQ(got, peer * 100 + 5);
+    f.close();
+  });
+}
+
+TEST(FullStackTest, TwoFilesConcurrentlyTcioAndOcio) {
+  // One job drives a TCIO file and an OCIO file at the same time; their
+  // traffic shares the network and file system without interference.
+  fs::Filesystem fsys(fsCfg());
+  const int P = 4;
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    core::File t(comm, fsys, "t.dat", fs::kWrite | fs::kCreate, tcioCfg());
+    io::MpioFile o = io::MpioFile::open(comm, fsys, "o.dat",
+                                        fs::kWrite | fs::kCreate);
+    for (int i = 0; i < 8; ++i) {
+      const std::int64_t tv = comm.rank() * 1000 + i;
+      t.writeAt((static_cast<Offset>(i) * P + comm.rank()) * 8, &tv, 8);
+    }
+    std::vector<std::int64_t> ov(8);
+    std::iota(ov.begin(), ov.end(), comm.rank() * 500);
+    o.writeAtAll(comm.rank() * 64, ov.data(), 64);
+    t.close();
+    o.close();
+  });
+  EXPECT_EQ(fsys.peekSize("t.dat"), 4 * 8 * 8);
+  EXPECT_EQ(fsys.peekSize("o.dat"), 4 * 64);
+  // Spot-check both files.
+  std::int64_t v = 0;
+  fsys.peek("t.dat", (3 * 4 + 2) * 8, {reinterpret_cast<std::byte*>(&v), 8});
+  EXPECT_EQ(v, 2 * 1000 + 3);
+  fsys.peek("o.dat", 64 * 3 + 8, {reinterpret_cast<std::byte*>(&v), 8});
+  EXPECT_EQ(v, 3 * 500 + 1);
+}
+
+TEST(FullStackTest, SubcommunicatorsDriveSeparateTcioFiles) {
+  // Two halves of the job each run an independent TCIO file on their own
+  // sub-communicator.
+  fs::Filesystem fsys(fsCfg());
+  const int P = 8;
+  mpi::runJob(job(P), [&](mpi::Comm& world) {
+    mpi::Comm sub = world.split(world.rank() / 4, world.rank());
+    const std::string name =
+        world.rank() < 4 ? "half0.dat" : "half1.dat";
+    core::File f(sub, fsys, name, fs::kWrite | fs::kCreate, tcioCfg());
+    const std::int64_t v = world.rank();
+    f.writeAt(sub.rank() * 8, &v, 8);
+    f.close();
+  });
+  for (int half = 0; half < 2; ++half) {
+    const std::string name = half == 0 ? "half0.dat" : "half1.dat";
+    ASSERT_EQ(fsys.peekSize(name), 32);
+    for (int r = 0; r < 4; ++r) {
+      std::int64_t v = -1;
+      fsys.peek(name, r * 8, {reinterpret_cast<std::byte*>(&v), 8});
+      EXPECT_EQ(v, half * 4 + r);
+    }
+  }
+}
+
+TEST(FullStackTest, ArtSnapshotCrossBackendRestart) {
+  // Dump with TCIO, restart with vanilla MPI-IO, and vice versa — the
+  // self-describing format decouples writer and reader.
+  fs::Filesystem fsys(fsCfg());
+  const int P = 4;
+  const std::int64_t ntrees = 6;
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    std::vector<art::FttTree> trees;
+    for (auto id : art::treesOfRank(ntrees, comm.rank(), P)) {
+      trees.push_back(art::generateTree(5, id, art::TreeGenConfig{}));
+    }
+    art::CheckpointConfig tcio_cfg;
+    tcio_cfg.backend = art::Backend::kTcio;
+    tcio_cfg.tcio = tcioCfg();
+    art::CheckpointConfig van_cfg;
+    van_cfg.backend = art::Backend::kVanillaMpiio;
+    van_cfg.tcio = tcioCfg();
+
+    art::dumpCheckpoint(comm, fsys, "cross.chk", trees, ntrees, tcio_cfg);
+    const auto via_vanilla =
+        art::loadCheckpoint(comm, fsys, "cross.chk", van_cfg);
+    ASSERT_EQ(via_vanilla.size(), trees.size());
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      EXPECT_EQ(via_vanilla[i], trees[i]);
+    }
+
+    art::dumpCheckpoint(comm, fsys, "cross2.chk", trees, ntrees, van_cfg);
+    const auto via_tcio =
+        art::loadCheckpoint(comm, fsys, "cross2.chk", tcio_cfg);
+    ASSERT_EQ(via_tcio.size(), trees.size());
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      EXPECT_EQ(via_tcio[i], trees[i]);
+    }
+  });
+}
+
+TEST(FullStackTest, EndToEndDeterminism) {
+  // The complete synthetic benchmark (engine + net + mpi + fs + tcio) is
+  // bit-deterministic: identical seeds give identical virtual times.
+  auto once = [&] {
+    fs::Filesystem fsys(fsCfg());
+    workload::BenchmarkConfig cfg;
+    cfg.method = workload::Method::kTcio;
+    cfg.len_array = 256;
+    cfg.tcio = tcioCfg();
+    double w = 0, r = 0;
+    mpi::runJob(job(8, 42), [&](mpi::Comm& comm) {
+      const auto wres = workload::runWritePhase(comm, fsys, cfg);
+      const auto rres = workload::runReadPhase(comm, fsys, cfg);
+      if (comm.rank() == 0) {
+        w = wres.seconds;
+        r = rres.seconds;
+      }
+    });
+    return std::pair{w, r};
+  };
+  const auto first = once();
+  EXPECT_EQ(once(), first);
+  EXPECT_EQ(once(), first);
+}
+
+TEST(FullStackTest, MemoryBudgetReleasedAfterClose) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    {
+      core::File f(comm, fsys, "rel.dat", fs::kWrite | fs::kCreate,
+                   tcioCfg());
+      const std::int64_t v = 1;
+      f.writeAt(comm.rank() * 8, &v, 8);
+      f.close();
+    }
+    EXPECT_EQ(comm.memory().used(), 0);  // window + level-1 released
+    {
+      io::MpioFile f = io::MpioFile::open(comm, fsys, "rel2.dat",
+                                          fs::kWrite | fs::kCreate);
+      std::vector<std::byte> b(64, std::byte{1});
+      f.writeAtAll(comm.rank() * 64, b.data(), 64);
+      f.close();
+    }
+    EXPECT_EQ(comm.memory().used(), 0);  // aggregator buffer released
+  });
+}
+
+TEST(FullStackTest, JitterChangesTimesButNotBytes) {
+  auto run = [&](double jitter) {
+    fs::Filesystem fsys(fsCfg());
+    mpi::JobConfig jc = job(4);
+    jc.net.jitter_mean = jitter;
+    SimTime t = 0;
+    mpi::runJob(jc, [&](mpi::Comm& comm) {
+      core::File f(comm, fsys, "j.dat", fs::kWrite | fs::kCreate, tcioCfg());
+      for (int i = 0; i < 16; ++i) {
+        const std::int64_t v = comm.rank() * 100 + i;
+        f.writeAt((static_cast<Offset>(i) * 4 + comm.rank()) * 8, &v, 8);
+      }
+      f.close();
+      comm.barrier();
+      if (comm.rank() == 0) t = comm.proc().now();
+    });
+    std::vector<std::byte> bytes(static_cast<std::size_t>(
+        fsys.peekSize("j.dat")));
+    fsys.peek("j.dat", 0, bytes);
+    return std::pair{t, bytes};
+  };
+  const auto calm = run(0.0);
+  const auto noisy = run(5e-6);
+  EXPECT_NE(calm.first, noisy.first);     // cost model sees the noise
+  EXPECT_EQ(calm.second, noisy.second);   // data is bit-identical
+}
+
+}  // namespace
+}  // namespace tcio

@@ -1,0 +1,118 @@
+// Observability: the shared event trace records network, file-system, and
+// TCIO activity with consistent counts and well-formed intervals.
+#include <gtest/gtest.h>
+
+#include "fs/client.h"
+#include "mpi/mpi.h"
+#include "tcio/file.h"
+
+namespace tcio {
+namespace {
+
+fs::FsConfig fsCfg() {
+  fs::FsConfig c;
+  c.num_osts = 2;
+  c.stripe_size = 1024;
+  return c;
+}
+
+TEST(TraceTest, RecordsNetworkFsAndTcioEvents) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::JobConfig jc;
+  jc.num_ranks = 4;
+  std::int64_t flushes = 0;
+
+  sim::Engine::Config ec;
+  ec.num_ranks = jc.num_ranks;
+  sim::Engine engine(ec);
+  jc.net.num_ranks = jc.num_ranks;
+  net::Network network(jc.net);
+  mpi::World world(engine, network, jc.mpi);
+  world.trace().enable(true);
+  network.setTrace(&world.trace());
+  fsys.setTrace(&world.trace());
+
+  engine.run([&](sim::Proc& proc) {
+    mpi::Comm comm(world, proc);
+    core::TcioConfig cfg;
+    cfg.segment_size = 512;
+    cfg.segments_per_rank = 8;
+    core::File f(comm, fsys, "trace.dat",
+                 fs::kRead | fs::kWrite | fs::kCreate, cfg);
+    for (int i = 0; i < 8; ++i) {
+      const std::int64_t v = comm.rank() * 10 + i;
+      f.writeAt((static_cast<Offset>(i) * 4 + comm.rank()) * 8, &v, 8);
+    }
+    f.flush();
+    std::int64_t got = 0;
+    f.readAt(comm.rank() * 8, &got, 8);
+    f.fetch();
+    f.close();
+    if (comm.rank() == 0) flushes = f.stats().level1_flushes;
+    // stats() is per-rank; sum flush events across ranks below.
+  });
+
+  const sim::Trace& trace = world.trace();
+  EXPECT_GT(trace.countWithPrefix("net."), 0);
+  EXPECT_GT(trace.countWithPrefix("fs.write"), 0);
+  EXPECT_GT(trace.countWithPrefix("tcio.flush"), 0);
+  EXPECT_EQ(trace.countWithPrefix("tcio.fetch"), 4 * 2);  // fetch + close
+  (void)flushes;
+
+  // Well-formed intervals, valid ranks.
+  for (const auto& e : trace.events()) {
+    EXPECT_LE(e.begin, e.end) << e.category;
+    EXPECT_GE(e.rank, 0);
+    EXPECT_LT(e.rank, 4);
+    EXPECT_GE(e.bytes, 0);
+  }
+}
+
+TEST(TraceTest, DisabledTraceRecordsNothingAndCostsNothing) {
+  fs::Filesystem fsys(fsCfg());
+  sim::Engine::Config ec;
+  ec.num_ranks = 2;
+  sim::Engine engine(ec);
+  net::NetworkConfig nc;
+  nc.num_ranks = 2;
+  net::Network network(nc);
+  mpi::World world(engine, network, {});
+  network.setTrace(&world.trace());
+  fsys.setTrace(&world.trace());
+  // Trace NOT enabled.
+  engine.run([&](sim::Proc& proc) {
+    mpi::Comm comm(world, proc);
+    fs::FsClient fc(fsys, comm.proc());
+    fs::FsFile f = fc.open("off.dat", fs::kWrite | fs::kCreate);
+    const int v = 1;
+    fc.pwrite(f, comm.rank() * 4, &v, 4);
+    fc.close(f);
+  });
+  EXPECT_TRUE(world.trace().events().empty());
+}
+
+TEST(TraceTest, FsWriteEventCountMatchesStats) {
+  fs::Filesystem fsys(fsCfg());
+  sim::Engine::Config ec;
+  ec.num_ranks = 3;
+  sim::Engine engine(ec);
+  net::NetworkConfig nc;
+  nc.num_ranks = 3;
+  net::Network network(nc);
+  mpi::World world(engine, network, {});
+  world.trace().enable(true);
+  fsys.setTrace(&world.trace());
+  engine.run([&](sim::Proc& proc) {
+    mpi::Comm comm(world, proc);
+    fs::FsClient fc(fsys, comm.proc());
+    fs::FsFile f = fc.open("cnt.dat", fs::kWrite | fs::kCreate);
+    std::vector<std::byte> buf(3000, std::byte{1});
+    fc.pwrite(f, comm.rank() * 3000, buf.data(), 3000);
+    fc.close(f);
+  });
+  EXPECT_EQ(world.trace().countWithPrefix("fs.write"),
+            fsys.stats().write_requests);
+}
+
+}  // namespace
+}  // namespace tcio

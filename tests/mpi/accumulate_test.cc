@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mpi/mpi.h"
+
+namespace tcio::mpi {
+namespace {
+
+JobConfig cfg(int p) {
+  JobConfig c;
+  c.num_ranks = p;
+  return c;
+}
+
+TEST(AccumulateTest, SumFromAllRanksUnderSharedLocks) {
+  const int P = 8;
+  runJob(cfg(P), [&](Comm& comm) {
+    Window win = Window::create(comm, 32);
+    if (comm.rank() == 0) {
+      std::int64_t zeros[4] = {};
+      std::memcpy(win.localData(), zeros, 32);
+    }
+    comm.barrier();
+    // Every rank accumulates its contribution; shared locks are legal for
+    // accumulate (element-wise combining is well-defined).
+    const std::int64_t mine[4] = {1, comm.rank(), comm.rank() * comm.rank(),
+                                  -1};
+    win.lock(LockType::kShared, 0);
+    win.accumulate(0, 0, mine, 4, Window::AccumulateOp::kSum);
+    win.unlock(0);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::int64_t got[4];
+      std::memcpy(got, win.localData(), 32);
+      EXPECT_EQ(got[0], P);
+      EXPECT_EQ(got[1], P * (P - 1) / 2);
+      std::int64_t sq = 0;
+      for (int r = 0; r < P; ++r) sq += r * r;
+      EXPECT_EQ(got[2], sq);
+      EXPECT_EQ(got[3], -P);
+    }
+  });
+}
+
+TEST(AccumulateTest, MaxAndMin) {
+  const int P = 5;
+  runJob(cfg(P), [&](Comm& comm) {
+    Window win = Window::create(comm, 16);
+    if (comm.rank() == 0) {
+      const double init[2] = {-1e300, 1e300};
+      std::memcpy(win.localData(), init, 16);
+    }
+    comm.barrier();
+    const double v = static_cast<double>(comm.rank());
+    win.lock(LockType::kShared, 0);
+    win.accumulate(0, 0, &v, 1, Window::AccumulateOp::kMax);
+    win.accumulate(0, 8, &v, 1, Window::AccumulateOp::kMin);
+    win.unlock(0);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      double got[2];
+      std::memcpy(got, win.localData(), 16);
+      EXPECT_DOUBLE_EQ(got[0], P - 1);
+      EXPECT_DOUBLE_EQ(got[1], 0.0);
+    }
+  });
+}
+
+TEST(AccumulateTest, ReplaceActsLikePut) {
+  runJob(cfg(2), [](Comm& comm) {
+    Window win = Window::create(comm, 8);
+    if (comm.rank() == 0) {
+      const std::int64_t v = 42;
+      win.lock(LockType::kExclusive, 1);
+      win.accumulate(1, 0, &v, 1, Window::AccumulateOp::kReplace);
+      win.unlock(1);
+      comm.send(nullptr, 0, 1, 0);
+    } else {
+      comm.recv(nullptr, 0, 0, 0);
+      std::int64_t got;
+      std::memcpy(&got, win.localData(), 8);
+      EXPECT_EQ(got, 42);
+    }
+  });
+}
+
+TEST(AccumulateTest, OutsideEpochRejected) {
+  EXPECT_THROW(runJob(cfg(2),
+                      [](Comm& comm) {
+                        Window win = Window::create(comm, 8);
+                        const std::int64_t v = 1;
+                        win.accumulate(1, 0, &v, 1,
+                                       Window::AccumulateOp::kSum);
+                      }),
+               Error);
+}
+
+TEST(AccumulateTest, OutOfBoundsRejected) {
+  EXPECT_THROW(runJob(cfg(2),
+                      [](Comm& comm) {
+                        Window win = Window::create(comm, 8);
+                        if (comm.rank() == 0) {
+                          const std::int64_t v[2] = {1, 2};
+                          win.lock(LockType::kShared, 1);
+                          win.accumulate(1, 4, v, 2,
+                                         Window::AccumulateOp::kSum);
+                          win.unlock(1);
+                        }
+                      }),
+               Error);
+}
+
+}  // namespace
+}  // namespace tcio::mpi

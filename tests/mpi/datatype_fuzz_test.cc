@@ -1,0 +1,131 @@
+// Property fuzz for the datatype engine: random nested type trees must
+// satisfy structural invariants, and flattening must match a slow reference
+// evaluator that walks the constructor semantics directly.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "mpi/datatype.h"
+
+namespace tcio::mpi {
+namespace {
+
+/// Reference model: a datatype as an explicit set of mapped bytes.
+struct RefType {
+  std::set<Offset> bytes;
+  Bytes extent = 0;
+
+  Bytes size() const { return static_cast<Bytes>(bytes.size()); }
+};
+
+RefType refBasic(Bytes n) {
+  RefType r;
+  for (Offset i = 0; i < n; ++i) r.bytes.insert(i);
+  r.extent = n;
+  return r;
+}
+
+RefType refContiguous(std::int64_t count, const RefType& base) {
+  RefType r;
+  for (std::int64_t i = 0; i < count; ++i) {
+    for (Offset b : base.bytes) r.bytes.insert(i * base.extent + b);
+  }
+  r.extent = r.bytes.empty() ? 0 : *r.bytes.rbegin() + 1;
+  return r;
+}
+
+RefType refVector(std::int64_t count, std::int64_t blocklen,
+                  std::int64_t stride, const RefType& base) {
+  RefType r;
+  for (std::int64_t i = 0; i < count; ++i) {
+    for (std::int64_t j = 0; j < blocklen; ++j) {
+      for (Offset b : base.bytes) {
+        r.bytes.insert((i * stride + j) * base.extent + b);
+      }
+    }
+  }
+  r.extent = r.bytes.empty() ? 0 : *r.bytes.rbegin() + 1;
+  return r;
+}
+
+/// Builds a random (Datatype, RefType) pair of bounded depth.
+std::pair<Datatype, RefType> randomType(Rng& rng, int depth) {
+  if (depth == 0) {
+    const Bytes sizes[] = {1, 2, 4, 8};
+    const Bytes n = sizes[rng.uniformInt(0, 3)];
+    Datatype t = n == 1   ? Datatype::byte()
+                 : n == 2 ? Datatype::int16()
+                 : n == 4 ? Datatype::int32()
+                          : Datatype::int64();
+    return {t, refBasic(n)};
+  }
+  auto [base, ref] = randomType(rng, depth - 1);
+  if (rng.uniform() < 0.5) {
+    const std::int64_t count = rng.uniformInt(1, 5);
+    return {Datatype::contiguous(count, base), refContiguous(count, ref)};
+  }
+  const std::int64_t count = rng.uniformInt(1, 4);
+  const std::int64_t blocklen = rng.uniformInt(1, 3);
+  const std::int64_t stride = blocklen + rng.uniformInt(0, 3);
+  return {Datatype::vector(count, blocklen, stride, base),
+          refVector(count, blocklen, stride, ref)};
+}
+
+class DatatypeFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, DatatypeFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST_P(DatatypeFuzzTest, FlattenMatchesReferenceByteSet) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto [type, ref] = randomType(rng, static_cast<int>(rng.uniformInt(1, 3)));
+    ASSERT_EQ(type.size(), ref.size());
+    ASSERT_EQ(type.extent(), ref.extent);
+    // Expand the canonical segments into a byte set.
+    std::set<Offset> got;
+    for (const Extent& e : type.segments()) {
+      for (Offset b = e.begin; b < e.end; ++b) got.insert(b);
+    }
+    ASSERT_EQ(got, ref.bytes) << "iter " << iter << " type " << type.name();
+  }
+}
+
+TEST_P(DatatypeFuzzTest, SegmentsAreCanonical) {
+  Rng rng(GetParam() + 100);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto [type, ref] = randomType(rng, 2);
+    (void)ref;
+    const auto& segs = type.segments();
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      EXPECT_LT(segs[i].begin, segs[i].end);  // non-empty
+      if (i > 0) {
+        // Sorted with gaps (adjacent runs would have been merged).
+        EXPECT_GT(segs[i].begin, segs[i - 1].end);
+      }
+    }
+  }
+}
+
+TEST_P(DatatypeFuzzTest, FlattenTilesAreDisjointAndComplete) {
+  Rng rng(GetParam() + 200);
+  const auto [type, ref] = randomType(rng, 2);
+  (void)ref;
+  const std::int64_t count = 3;
+  std::vector<Extent> flat;
+  type.flatten(1000, count, flat);
+  // Total bytes = count * size; runs sorted and non-overlapping.
+  Bytes total = 0;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    total += flat[i].size();
+    if (i > 0) {
+      EXPECT_GE(flat[i].begin, flat[i - 1].end);
+    }
+  }
+  EXPECT_EQ(total, count * type.size());
+  EXPECT_GE(flat.front().begin, 1000);
+}
+
+}  // namespace
+}  // namespace tcio::mpi

@@ -1,0 +1,136 @@
+#include "mpi/datatype.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace tcio::mpi {
+namespace {
+
+TEST(DatatypeTest, BasicSizes) {
+  EXPECT_EQ(Datatype::byte().size(), 1);
+  EXPECT_EQ(Datatype::int32().size(), 4);
+  EXPECT_EQ(Datatype::float64().size(), 8);
+  EXPECT_TRUE(Datatype::byte().isContiguous());
+}
+
+TEST(DatatypeTest, ContiguousMergesIntoOneRun) {
+  const auto t = Datatype::contiguous(10, Datatype::int32());
+  EXPECT_EQ(t.size(), 40);
+  EXPECT_EQ(t.extent(), 40);
+  EXPECT_EQ(t.segmentCount(), 1u);
+  EXPECT_TRUE(t.isContiguous());
+}
+
+TEST(DatatypeTest, VectorLayout) {
+  // 3 blocks of 2 int32, stride 4 elements: bytes [0,8) [16,24) [32,40).
+  const auto t = Datatype::vector(3, 2, 4, Datatype::int32());
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.extent(), 40);
+  ASSERT_EQ(t.segmentCount(), 3u);
+  EXPECT_EQ(t.segments()[0], (Extent{0, 8}));
+  EXPECT_EQ(t.segments()[1], (Extent{16, 24}));
+  EXPECT_EQ(t.segments()[2], (Extent{32, 40}));
+}
+
+TEST(DatatypeTest, VectorWithStrideEqualBlocklenIsContiguous) {
+  const auto t = Datatype::vector(4, 2, 2, Datatype::byte());
+  EXPECT_EQ(t.segmentCount(), 1u);
+  EXPECT_EQ(t.size(), 8);
+}
+
+TEST(DatatypeTest, VectorStrideSmallerThanBlockRejected) {
+  EXPECT_THROW(Datatype::vector(2, 3, 2, Datatype::byte()), Error);
+}
+
+TEST(DatatypeTest, IndexedLayout) {
+  const std::array<std::int64_t, 2> lens{2, 1};
+  const std::array<std::int64_t, 2> displs{0, 5};
+  const auto t = Datatype::indexed(lens, displs, Datatype::float64());
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.extent(), 48);
+  ASSERT_EQ(t.segmentCount(), 2u);
+  EXPECT_EQ(t.segments()[0], (Extent{0, 16}));
+  EXPECT_EQ(t.segments()[1], (Extent{40, 48}));
+}
+
+TEST(DatatypeTest, HindexedBytes) {
+  const std::array<Bytes, 2> lens{3, 4};
+  const std::array<Offset, 2> displs{10, 20};
+  const auto t = Datatype::hindexed(lens, displs);
+  EXPECT_EQ(t.size(), 7);
+  EXPECT_EQ(t.extent(), 24);
+}
+
+TEST(DatatypeTest, StructOfIntAndDouble) {
+  // The paper's Fig. 2 etype: one int32 then one float64, packed.
+  const std::array<std::int64_t, 2> lens{1, 1};
+  const std::array<Offset, 2> displs{0, 4};
+  const std::array<Datatype, 2> types{Datatype::int32(), Datatype::float64()};
+  const auto t = Datatype::structType(lens, displs, types);
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_EQ(t.extent(), 12);
+  EXPECT_TRUE(t.isContiguous());
+}
+
+TEST(DatatypeTest, StructWithGap) {
+  const std::array<std::int64_t, 2> lens{1, 1};
+  const std::array<Offset, 2> displs{0, 8};
+  const std::array<Datatype, 2> types{Datatype::int32(), Datatype::int32()};
+  const auto t = Datatype::structType(lens, displs, types);
+  EXPECT_EQ(t.size(), 8);
+  EXPECT_EQ(t.extent(), 12);
+  EXPECT_EQ(t.segmentCount(), 2u);
+}
+
+TEST(DatatypeTest, NestedVectorOfStruct) {
+  const std::array<std::int64_t, 2> lens{1, 1};
+  const std::array<Offset, 2> displs{0, 4};
+  const std::array<Datatype, 2> types{Datatype::int32(), Datatype::float64()};
+  const auto etype = Datatype::structType(lens, displs, types);
+  // Fig. 2 filetype for P=2: vector with stride 2 etypes.
+  const auto ftype = Datatype::vector(3, 1, 2, etype);
+  EXPECT_EQ(ftype.size(), 36);
+  EXPECT_EQ(ftype.extent(), 60);
+  EXPECT_EQ(ftype.segmentCount(), 3u);
+}
+
+TEST(DatatypeTest, FlattenTilesByExtent) {
+  const auto t = Datatype::vector(2, 1, 2, Datatype::byte());  // [0,1) [2,3)
+  std::vector<Extent> out;
+  t.flatten(100, 2, out);
+  // Second instance starts at 100 + extent(3); its first run [103,104) is
+  // adjacent to the first instance's tail [102,103) and merges.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Extent{100, 101}));
+  EXPECT_EQ(out[1], (Extent{102, 104}));
+  EXPECT_EQ(out[2], (Extent{105, 106}));
+}
+
+TEST(DatatypeTest, FlattenMergesAcrossInstances) {
+  const auto t = Datatype::contiguous(4, Datatype::byte());
+  std::vector<Extent> out;
+  t.flatten(0, 3, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Extent{0, 12}));
+}
+
+TEST(DatatypeTest, CommitFlag) {
+  auto t = Datatype::int32();
+  EXPECT_FALSE(t.committed());
+  t.commit();
+  EXPECT_TRUE(t.committed());
+}
+
+TEST(DatatypeTest, NormalizeExtentsSortsAndMerges) {
+  auto out = normalizeExtents({{10, 20}, {0, 5}, {5, 10}, {30, 30}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Extent{0, 20}));
+}
+
+TEST(DatatypeTest, OverlappingLayoutRejected) {
+  EXPECT_THROW(normalizeExtents({{0, 10}, {5, 15}}), Error);
+}
+
+}  // namespace
+}  // namespace tcio::mpi

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mpi/mpi.h"
+
+namespace tcio::mpi {
+namespace {
+
+JobConfig cfg(int p) {
+  JobConfig c;
+  c.num_ranks = p;
+  return c;
+}
+
+TEST(RmaTest, PutIntoRemoteWindow) {
+  runJob(cfg(2), [](Comm& comm) {
+    Window win = Window::create(comm, 64);
+    if (comm.rank() == 0) {
+      const std::int64_t v = 0xDEADBEEF;
+      win.lock(LockType::kExclusive, 1);
+      win.put(1, 8, &v, 8);
+      win.unlock(1);
+      // Tell rank 1 the data is in place.
+      comm.send(nullptr, 0, 1, 0);
+    } else {
+      comm.recv(nullptr, 0, 0, 0);
+      std::int64_t got = 0;
+      std::memcpy(&got, win.localData() + 8, 8);
+      EXPECT_EQ(got, 0xDEADBEEF);
+    }
+  });
+}
+
+TEST(RmaTest, GetFromRemoteWindow) {
+  runJob(cfg(2), [](Comm& comm) {
+    Window win = Window::create(comm, 32);
+    if (comm.rank() == 1) {
+      const double v = 2.75;
+      std::memcpy(win.localData(), &v, 8);
+      comm.send(nullptr, 0, 0, 0);
+      comm.recv(nullptr, 0, 0, 1);
+    } else {
+      comm.recv(nullptr, 0, 1, 0);
+      double got = 0;
+      win.lock(LockType::kShared, 1);
+      win.get(1, 0, &got, 8);
+      win.unlock(1);
+      EXPECT_DOUBLE_EQ(got, 2.75);
+      comm.send(nullptr, 0, 1, 1);
+    }
+  });
+}
+
+TEST(RmaTest, PutIndexedCoalescesBlocks) {
+  runJob(cfg(2), [](Comm& comm) {
+    Window win = Window::create(comm, 100);
+    if (comm.rank() == 0) {
+      const std::byte a[4] = {std::byte{1}, std::byte{2}, std::byte{3},
+                              std::byte{4}};
+      const std::byte b[2] = {std::byte{9}, std::byte{8}};
+      const Window::PutBlock blocks[] = {{10, a, 4}, {50, b, 2}};
+      win.lock(LockType::kExclusive, 1);
+      win.putIndexed(1, blocks);
+      win.unlock(1);
+      EXPECT_EQ(win.oneSidedMessages(), 1);  // single coalesced message
+      comm.send(nullptr, 0, 1, 0);
+    } else {
+      comm.recv(nullptr, 0, 0, 0);
+      EXPECT_EQ(win.localData()[10], std::byte{1});
+      EXPECT_EQ(win.localData()[13], std::byte{4});
+      EXPECT_EQ(win.localData()[50], std::byte{9});
+      EXPECT_EQ(win.localData()[51], std::byte{8});
+    }
+  });
+}
+
+TEST(RmaTest, GetIndexedGathersBlocks) {
+  runJob(cfg(2), [](Comm& comm) {
+    Window win = Window::create(comm, 16);
+    for (int i = 0; i < 16; ++i) {
+      win.localData()[i] = static_cast<std::byte>(comm.rank() * 16 + i);
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::byte x[2], y[3];
+      const Window::GetBlock blocks[] = {{2, x, 2}, {10, y, 3}};
+      win.lock(LockType::kShared, 1);
+      win.getIndexed(1, blocks);
+      win.unlock(1);
+      EXPECT_EQ(x[0], std::byte{18});
+      EXPECT_EQ(x[1], std::byte{19});
+      EXPECT_EQ(y[2], std::byte{28});
+    }
+  });
+}
+
+TEST(RmaTest, ExclusiveLockSerializesCriticalSections) {
+  // All ranks increment a counter in rank 0's window under an exclusive
+  // lock; no increment may be lost.
+  const int P = 8;
+  runJob(cfg(P), [&](Comm& comm) {
+    Window win = Window::create(comm, 8);
+    if (comm.rank() == 0) {
+      std::int64_t zero = 0;
+      std::memcpy(win.localData(), &zero, 8);
+    }
+    comm.barrier();
+    for (int iter = 0; iter < 4; ++iter) {
+      std::int64_t v = 0;
+      win.lock(LockType::kExclusive, 0);
+      win.get(0, 0, &v, 8);
+      ++v;
+      win.put(0, 0, &v, 8);
+      win.unlock(0);
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::int64_t v = 0;
+      std::memcpy(&v, win.localData(), 8);
+      EXPECT_EQ(v, P * 4);
+    }
+  });
+}
+
+TEST(RmaTest, SharedLocksCoexistExclusiveWaits) {
+  runJob(cfg(3), [](Comm& comm) {
+    Window win = Window::create(comm, 8);
+    // Ranks 1 and 2 take shared locks on 0 and hold them while advancing
+    // time; lock acquisition order is deterministic in virtual time, so we
+    // simply assert the program completes (no deadlock) and data integrity.
+    if (comm.rank() != 0) {
+      win.lock(LockType::kShared, 0);
+      double d = 0;
+      win.get(0, 0, &d, 8);
+      win.unlock(0);
+    } else {
+      win.lock(LockType::kExclusive, 0);
+      const double v = 1.5;
+      win.put(0, 0, &v, 8);
+      win.unlock(0);
+    }
+  });
+}
+
+TEST(RmaTest, LockContentionCostsTime) {
+  SimTime uncontended = 0, contended = 0;
+  runJob(cfg(2), [&](Comm& comm) {
+    Window win = Window::create(comm, 8);
+    if (comm.rank() == 0) {
+      const SimTime t0 = comm.proc().now();
+      win.lock(LockType::kExclusive, 0);
+      win.unlock(0);
+      uncontended = comm.proc().now() - t0;
+    }
+  });
+  runJob(cfg(2), [&](Comm& comm) {
+    Window win = Window::create(comm, 8);
+    if (comm.rank() == 0) {
+      // Hold the lock for 1 simulated second.
+      win.lock(LockType::kExclusive, 0);
+      comm.proc().advance(1.0);
+      win.unlock(0);
+    } else {
+      const SimTime t0 = comm.proc().now();
+      win.lock(LockType::kExclusive, 0);
+      win.unlock(0);
+      contended = comm.proc().now() - t0;
+    }
+  });
+  EXPECT_GT(contended, 0.9);
+  EXPECT_LT(uncontended, 0.1);
+}
+
+TEST(RmaTest, AccessOutsideEpochRejected) {
+  EXPECT_THROW(runJob(cfg(2),
+                      [](Comm& comm) {
+                        Window win = Window::create(comm, 8);
+                        double v = 0;
+                        win.put(1, 0, &v, 8);  // no lock held
+                      }),
+               Error);
+}
+
+TEST(RmaTest, PutOutsideWindowBoundsRejected) {
+  EXPECT_THROW(runJob(cfg(2),
+                      [](Comm& comm) {
+                        Window win = Window::create(comm, 8);
+                        if (comm.rank() == 0) {
+                          double v = 0;
+                          win.lock(LockType::kExclusive, 1);
+                          win.put(1, 4, &v, 8);  // 4+8 > 8
+                          win.unlock(1);
+                        }
+                      }),
+               Error);
+}
+
+TEST(RmaTest, WindowMemoryChargedToBudget) {
+  JobConfig c = cfg(2);
+  c.memory_budget_per_rank = 100;
+  EXPECT_THROW(runJob(c,
+                      [](Comm& comm) {
+                        Window win = Window::create(comm, 200);
+                        (void)win;
+                      }),
+               OutOfMemoryBudget);
+}
+
+TEST(RmaTest, MultipleWindowsAreIndependent) {
+  runJob(cfg(2), [](Comm& comm) {
+    Window a = Window::create(comm, 8);
+    Window b = Window::create(comm, 8);
+    if (comm.rank() == 0) {
+      const std::int32_t va = 1, vb = 2;
+      a.lock(LockType::kExclusive, 1);
+      a.put(1, 0, &va, 4);
+      a.unlock(1);
+      b.lock(LockType::kExclusive, 1);
+      b.put(1, 0, &vb, 4);
+      b.unlock(1);
+      comm.send(nullptr, 0, 1, 0);
+    } else {
+      comm.recv(nullptr, 0, 0, 0);
+      std::int32_t va = 0, vb = 0;
+      std::memcpy(&va, a.localData(), 4);
+      std::memcpy(&vb, b.localData(), 4);
+      EXPECT_EQ(va, 1);
+      EXPECT_EQ(vb, 2);
+    }
+  });
+}
+
+TEST(RmaTest, FenceSynchronizes) {
+  runJob(cfg(4), [](Comm& comm) {
+    Window win = Window::create(comm, 8);
+    comm.proc().advance(static_cast<double>(comm.rank()));
+    win.fence();
+    EXPECT_GE(comm.proc().now(), 3.0);
+  });
+}
+
+}  // namespace
+}  // namespace tcio::mpi

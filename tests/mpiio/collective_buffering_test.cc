@@ -1,0 +1,125 @@
+// Collective buffering (cb_nodes): aggregator-subset two-phase I/O.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/runtime.h"
+#include "mpiio/file.h"
+
+namespace tcio::io {
+namespace {
+
+fs::FsConfig fsCfg() {
+  fs::FsConfig c;
+  c.num_osts = 4;
+  c.stripe_size = 4096;
+  return c;
+}
+
+mpi::JobConfig job(int p) {
+  mpi::JobConfig c;
+  c.num_ranks = p;
+  return c;
+}
+
+class CbNodesTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(AggregatorCounts, CbNodesTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST_P(CbNodesTest, WriteProducesIdenticalBytesToFullAggregation) {
+  const int cb = GetParam();
+  const int P = 8;
+  auto runWith = [&](int cb_nodes) {
+    fs::Filesystem fsys(fsCfg());
+    mpi::runJob(job(P), [&](mpi::Comm& comm) {
+      MpioConfig mc;
+      mc.cb_nodes = cb_nodes;
+      MpioFile f =
+          MpioFile::open(comm, fsys, "cb.dat", fs::kWrite | fs::kCreate, mc);
+      std::vector<std::int32_t> data(64);
+      std::iota(data.begin(), data.end(), comm.rank() * 1000);
+      // Interleaved: rank r writes 64 ints strided by P.
+      auto e = mpi::Datatype::int32().commit();
+      auto ft = mpi::Datatype::vector(64, 1, P, mpi::Datatype::int32()).commit();
+      f.setView(comm.rank() * 4, e, ft);
+      f.writeAtAll(0, data.data(), 256);
+      f.close();
+    });
+    std::vector<std::byte> all(static_cast<std::size_t>(P) * 256);
+    fsys.peek("cb.dat", 0, all);
+    return all;
+  };
+  EXPECT_EQ(runWith(cb), runWith(0));
+}
+
+TEST_P(CbNodesTest, ReadReturnsWrittenData) {
+  const int cb = GetParam();
+  const int P = 8;
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    MpioConfig mc;
+    mc.cb_nodes = cb;
+    MpioFile f = MpioFile::open(comm, fsys, "cbr.dat",
+                                fs::kRead | fs::kWrite | fs::kCreate, mc);
+    std::vector<std::byte> data(128);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::byte>((comm.rank() * 7 + i) % 251);
+    }
+    f.writeAtAll(comm.rank() * 128, data.data(), 128);
+    comm.barrier();
+    std::vector<std::byte> got(128);
+    f.readAtAll(comm.rank() * 128, got.data(), 128);
+    EXPECT_EQ(got, data);
+    f.close();
+  });
+}
+
+TEST(CbNodesTest2, OnlyAggregatorsIssueFsRequests) {
+  const int P = 8, cb = 2;
+  fs::Filesystem fsys(fsCfg());
+  std::int64_t agg_requests = 0, non_agg_requests = 0;
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    MpioConfig mc;
+    mc.cb_nodes = cb;
+    MpioFile f =
+        MpioFile::open(comm, fsys, "agg.dat", fs::kWrite | fs::kCreate, mc);
+    std::vector<std::byte> data(512, static_cast<std::byte>(comm.rank()));
+    const TwoPhaseStats st = f.writeAtAll(comm.rank() * 512, data.data(), 512);
+    // Aggregators are ranks 0 and 4 (stride = P / cb = 4).
+    if (comm.rank() % 4 == 0) {
+      if (comm.rank() == 0) agg_requests = st.fs_requests;
+      EXPECT_GT(st.aggregator_buffer, 0);
+    } else {
+      if (comm.rank() == 1) non_agg_requests = st.fs_requests;
+      EXPECT_EQ(st.aggregator_buffer, 0);
+    }
+    f.close();
+  });
+  EXPECT_GT(agg_requests, 0);
+  EXPECT_EQ(non_agg_requests, 0);
+}
+
+TEST(CbNodesTest2, AggregatorBufferGrowsWithFewerAggregators) {
+  const int P = 8;
+  auto bufferOfRankZero = [&](int cb) {
+    fs::Filesystem fsys(fsCfg());
+    Bytes buffer = 0;
+    mpi::runJob(job(P), [&](mpi::Comm& comm) {
+      MpioConfig mc;
+      mc.cb_nodes = cb;
+      MpioFile f =
+          MpioFile::open(comm, fsys, "g.dat", fs::kWrite | fs::kCreate, mc);
+      std::vector<std::byte> data(256, std::byte{1});
+      const TwoPhaseStats st =
+          f.writeAtAll(comm.rank() * 256, data.data(), 256);
+      if (comm.rank() == 0) buffer = st.aggregator_buffer;
+      f.close();
+    });
+    return buffer;
+  };
+  EXPECT_EQ(bufferOfRankZero(2), 4 * bufferOfRankZero(0));
+}
+
+}  // namespace
+}  // namespace tcio::io

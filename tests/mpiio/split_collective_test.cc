@@ -1,0 +1,128 @@
+// Split collectives (MPI_File_write_all_begin/_end) and hint parsing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/runtime.h"
+#include "mpiio/file.h"
+
+namespace tcio::io {
+namespace {
+
+fs::FsConfig fsCfg() {
+  fs::FsConfig c;
+  c.num_osts = 2;
+  c.stripe_size = 2048;
+  return c;
+}
+
+mpi::JobConfig job(int p) {
+  mpi::JobConfig c;
+  c.num_ranks = p;
+  return c;
+}
+
+TEST(SplitCollectiveTest, BeginEndWritesLikePlainCollective) {
+  const int P = 4;
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    MpioFile f = MpioFile::open(comm, fsys, "sc.dat",
+                                fs::kWrite | fs::kCreate);
+    std::vector<std::int32_t> data(16);
+    std::iota(data.begin(), data.end(), comm.rank() * 100);
+    f.writeAtAllBegin(comm.rank() * 64, data.data(), 64);
+    // ... overlap "computation" here ...
+    comm.proc().advance(0.001);
+    const TwoPhaseStats st = f.writeAtAllEnd();
+    EXPECT_GT(st.aggregator_buffer, 0);
+    f.close();
+  });
+  std::int32_t v = 0;
+  fsys.peek("sc.dat", 64 * 2 + 4, {reinterpret_cast<std::byte*>(&v), 4});
+  EXPECT_EQ(v, 201);
+}
+
+TEST(SplitCollectiveTest, ReadBeginEndRoundTrip) {
+  const int P = 2;
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    MpioFile f = MpioFile::open(comm, fsys, "scr.dat",
+                                fs::kRead | fs::kWrite | fs::kCreate);
+    std::vector<std::byte> data(128, static_cast<std::byte>(comm.rank() + 1));
+    f.writeAtAll(comm.rank() * 128, data.data(), 128);
+    comm.barrier();
+    std::vector<std::byte> got(128);
+    f.readAtAllBegin(comm.rank() * 128, got.data(), 128);
+    f.readAtAllEnd();
+    EXPECT_EQ(got, data);
+    f.close();
+  });
+}
+
+TEST(SplitCollectiveTest, DoubleBeginRejected) {
+  fs::Filesystem fsys(fsCfg());
+  EXPECT_THROW(
+      mpi::runJob(job(1),
+                  [&](mpi::Comm& comm) {
+                    MpioFile f = MpioFile::open(comm, fsys, "d.dat",
+                                                fs::kWrite | fs::kCreate);
+                    int v = 0;
+                    f.writeAtAllBegin(0, &v, 4);
+                    f.writeAtAllBegin(4, &v, 4);
+                  }),
+      Error);
+}
+
+TEST(SplitCollectiveTest, EndWithoutBeginRejected) {
+  fs::Filesystem fsys(fsCfg());
+  EXPECT_THROW(
+      mpi::runJob(job(1),
+                  [&](mpi::Comm& comm) {
+                    MpioFile f = MpioFile::open(comm, fsys, "e.dat",
+                                                fs::kWrite | fs::kCreate);
+                    f.writeAtAllEnd();
+                  }),
+      Error);
+}
+
+TEST(SplitCollectiveTest, MismatchedKindRejected) {
+  fs::Filesystem fsys(fsCfg());
+  EXPECT_THROW(
+      mpi::runJob(job(1),
+                  [&](mpi::Comm& comm) {
+                    MpioFile f = MpioFile::open(
+                        comm, fsys, "m.dat",
+                        fs::kRead | fs::kWrite | fs::kCreate);
+                    int v = 0;
+                    f.writeAtAllBegin(0, &v, 4);
+                    f.readAtAllEnd();
+                  }),
+      Error);
+}
+
+TEST(HintsTest, ParsesRomioStyleHints) {
+  const MpioConfig cfg =
+      parseHints("cb_nodes=4;romio_ds_write=disable;sieve_buffer=1048576");
+  EXPECT_EQ(cfg.cb_nodes, 4);
+  EXPECT_FALSE(cfg.enable_data_sieving);
+  EXPECT_EQ(cfg.sieve_buffer, 1048576);
+}
+
+TEST(HintsTest, EmptyAndAutomaticKeepDefaults) {
+  const MpioConfig base;
+  const MpioConfig cfg = parseHints("romio_ds_read=automatic;", base);
+  EXPECT_EQ(cfg.enable_data_sieving, base.enable_data_sieving);
+  EXPECT_EQ(cfg.cb_nodes, base.cb_nodes);
+}
+
+TEST(HintsTest, UnknownHintThrows) {
+  EXPECT_THROW(parseHints("striping_unit=65536"), Error);
+}
+
+TEST(HintsTest, MalformedHintThrows) {
+  EXPECT_THROW(parseHints("cb_nodes"), Error);
+}
+
+}  // namespace
+}  // namespace tcio::io

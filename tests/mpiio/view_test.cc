@@ -1,0 +1,107 @@
+#include "mpiio/view.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace tcio::io {
+namespace {
+
+mpi::Datatype etypeIntDouble() {
+  const std::array<std::int64_t, 2> lens{1, 1};
+  const std::array<Offset, 2> displs{0, 4};
+  const std::array<mpi::Datatype, 2> types{mpi::Datatype::int32(),
+                                           mpi::Datatype::float64()};
+  return mpi::Datatype::structType(lens, displs, types).commit();
+}
+
+TEST(FileViewTest, IdentityViewMapsDirectly) {
+  FileView v;
+  const auto ext = v.mapExtents(10, 5);
+  ASSERT_EQ(ext.size(), 1u);
+  EXPECT_EQ(ext[0], (Extent{10, 15}));
+}
+
+TEST(FileViewTest, RequiresCommittedTypes) {
+  auto e = mpi::Datatype::byte();  // not committed
+  auto f = mpi::Datatype::contiguous(4, mpi::Datatype::byte()).commit();
+  EXPECT_THROW(FileView(0, e, f), Error);
+}
+
+TEST(FileViewTest, FiletypeMustBeMultipleOfEtype) {
+  auto e = mpi::Datatype::int32().commit();
+  auto f = mpi::Datatype::contiguous(3, mpi::Datatype::byte()).commit();
+  EXPECT_THROW(FileView(0, e, f), Error);
+}
+
+TEST(FileViewTest, PaperFig2ViewForRankZero) {
+  // P=2: etype = {int,double} (12 B), filetype = vector(LEN=3, 1, stride 2).
+  auto e = etypeIntDouble();
+  auto f = mpi::Datatype::vector(3, 1, 2, e).commit();
+  FileView v(0, e, f);
+  EXPECT_EQ(v.tilePayload(), 36);
+  const auto ext = v.mapExtents(0, 36);
+  ASSERT_EQ(ext.size(), 3u);
+  EXPECT_EQ(ext[0], (Extent{0, 12}));
+  EXPECT_EQ(ext[1], (Extent{24, 36}));
+  EXPECT_EQ(ext[2], (Extent{48, 60}));
+}
+
+TEST(FileViewTest, PaperFig2ViewForRankOneUsesDisplacement) {
+  auto e = etypeIntDouble();
+  auto f = mpi::Datatype::vector(3, 1, 2, e).commit();
+  FileView v(/*disp=*/12, e, f);
+  const auto ext = v.mapExtents(0, 36);
+  ASSERT_EQ(ext.size(), 3u);
+  EXPECT_EQ(ext[0], (Extent{12, 24}));
+  EXPECT_EQ(ext[1], (Extent{36, 48}));
+  EXPECT_EQ(ext[2], (Extent{60, 72}));
+}
+
+TEST(FileViewTest, PartialRangeInsideSegment) {
+  auto e = mpi::Datatype::byte().commit();
+  auto f = mpi::Datatype::vector(2, 4, 8, mpi::Datatype::byte()).commit();
+  // segments [0,4) [8,12), payload 8, extent 12.
+  FileView v(0, e, f);
+  const auto ext = v.mapExtents(2, 4);
+  ASSERT_EQ(ext.size(), 2u);
+  EXPECT_EQ(ext[0], (Extent{2, 4}));
+  EXPECT_EQ(ext[1], (Extent{8, 10}));
+}
+
+TEST(FileViewTest, TilingRepeatsFiletype) {
+  auto e = mpi::Datatype::byte().commit();
+  auto f = mpi::Datatype::vector(1, 2, 4, mpi::Datatype::byte()).commit();
+  // One segment [0,2), payload 2, extent 2 (stride beyond count ignored).
+  FileView v(0, e, f);
+  const auto ext = v.mapExtents(0, 6);
+  // Tiles at 0, 2, 4 merge into one contiguous run.
+  ASSERT_EQ(ext.size(), 1u);
+  EXPECT_EQ(ext[0], (Extent{0, 6}));
+}
+
+TEST(FileViewTest, TilingWithGapsDoesNotMerge) {
+  auto e = mpi::Datatype::byte().commit();
+  auto f = mpi::Datatype::vector(2, 1, 2, mpi::Datatype::byte()).commit();
+  // Segments [0,1) [2,3), extent 3, payload 2.
+  FileView v(0, e, f);
+  const auto ext = v.mapExtents(0, 4);
+  // Tile 1 starts at extent 3, so [2,3) and [3,4) merge; the gaps at 1 and 4
+  // stay unmapped.
+  ASSERT_EQ(ext.size(), 3u);
+  EXPECT_EQ(ext[0], (Extent{0, 1}));
+  EXPECT_EQ(ext[1], (Extent{2, 4}));
+  EXPECT_EQ(ext[2], (Extent{5, 6}));
+}
+
+TEST(FileViewTest, OffsetBeyondFirstTile) {
+  auto e = mpi::Datatype::byte().commit();
+  auto f = mpi::Datatype::vector(2, 1, 2, mpi::Datatype::byte()).commit();
+  FileView v(100, e, f);
+  const auto ext = v.mapExtents(3, 1);  // tile 1, second payload byte
+  ASSERT_EQ(ext.size(), 1u);
+  EXPECT_EQ(ext[0], (Extent{105, 106}));
+}
+
+}  // namespace
+}  // namespace tcio::io

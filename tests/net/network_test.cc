@@ -1,0 +1,110 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tcio::net {
+namespace {
+
+NetworkConfig smallCfg(int ranks) {
+  NetworkConfig c;
+  c.num_ranks = ranks;
+  c.ranks_per_node = 4;
+  c.nic_bandwidth = 1e6;        // 1 MB/s for easy math
+  c.per_message_overhead = 0;   // disabled unless a test enables it
+  c.internode_latency = 1e-3;   // 1 ms
+  c.intranode_latency = 1e-4;
+  c.membus_bandwidth = 1e7;
+  c.fabric_bisection_fraction = 1.0;
+  c.fabric_congestion_gamma = 0;
+  c.connection_setup = 0;
+  return c;
+}
+
+TEST(NetworkTest, NodeMapping) {
+  Network n(smallCfg(10));
+  EXPECT_EQ(n.nodeOf(0), 0);
+  EXPECT_EQ(n.nodeOf(3), 0);
+  EXPECT_EQ(n.nodeOf(4), 1);
+  EXPECT_EQ(n.numNodes(), 3);
+}
+
+TEST(NetworkTest, IntraNodeUsesMemoryBus) {
+  Network n(smallCfg(8));
+  // ranks 0 and 1 share node 0; 1e6 bytes over 1e7 B/s bus = 0.1 s + 1e-4.
+  const auto t = n.transfer(0.0, 0, 1, 1'000'000);
+  EXPECT_NEAR(t.delivered, 0.1 + 1e-4, 1e-9);
+  EXPECT_DOUBLE_EQ(t.sender_free, t.delivered);
+}
+
+TEST(NetworkTest, InterNodeChargesNicFabricAndLatency) {
+  Network n(smallCfg(8));
+  // 1e6 bytes at 1 MB/s NIC: egress 1s; fabric rate = 2 nodes * 1e6 = 2e6 ->
+  // +0.5s; ingress NIC +1s; +1 ms latency.
+  const auto t = n.transfer(0.0, 0, 4, 1'000'000);
+  EXPECT_NEAR(t.delivered, 1.0 + 0.5 + 1.0 + 1e-3, 1e-9);
+  EXPECT_NEAR(t.sender_free, 1.0, 1e-9);  // free once egress NIC finished
+}
+
+TEST(NetworkTest, SenderNicSerializesBackToBackMessages) {
+  Network n(smallCfg(8));
+  const auto t1 = n.transfer(0.0, 0, 4, 1'000'000);
+  const auto t2 = n.transfer(0.0, 0, 4, 1'000'000);
+  EXPECT_GT(t2.sender_free, t1.sender_free);
+  EXPECT_NEAR(t2.sender_free, 2.0, 1e-9);
+}
+
+TEST(NetworkTest, ConnectionSetupChargedOncePerNodePair) {
+  auto cfg = smallCfg(8);
+  cfg.connection_setup = 0.5;
+  Network n(cfg);
+  // Payload messages (control messages bypass connection setup entirely).
+  const auto t1 = n.transfer(0.0, 0, 4, 1);
+  const auto t2 = n.transfer(10.0, 1, 5, 1);  // same node pair (0,1)
+  const auto t3 = n.transfer(20.0, 4, 0, 1);  // reverse direction, cached
+  EXPECT_GT(t1.delivered, 0.5);
+  EXPECT_LT(t2.delivered - 10.0, 0.5);
+  EXPECT_LT(t3.delivered - 20.0, 0.5);
+  EXPECT_EQ(n.connectionsEstablished(), 1);
+}
+
+TEST(NetworkTest, FabricCongestionPenalizesBursts) {
+  auto cfg = smallCfg(64);
+  cfg.fabric_congestion_gamma = 1.0;
+  cfg.fabric_congestion_tau = 0.01;
+  Network congested(cfg);
+  Network calm(smallCfg(64));
+  // A synchronized burst across many distinct node pairs piles backlog onto
+  // the shared fabric (sources and destinations all distinct, so no NIC
+  // queue hides the fabric).
+  SimTime last_cong = 0, last_calm = 0;
+  for (int src = 0; src < 28; src += 4) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const int dst = 32 + src + (rep % 4);
+      last_cong =
+          std::max(last_cong,
+                   congested.transfer(0.0, src, dst, 100'000).delivered);
+      last_calm = std::max(
+          last_calm, calm.transfer(0.0, src, dst, 100'000).delivered);
+    }
+  }
+  EXPECT_GT(last_cong, last_calm);
+}
+
+TEST(NetworkTest, StatsAccumulate) {
+  Network n(smallCfg(8));
+  n.transfer(0.0, 0, 4, 100);
+  n.transfer(0.0, 1, 5, 200);
+  EXPECT_EQ(n.messageCount(), 2);
+  EXPECT_EQ(n.bytesMoved(), 300);
+}
+
+TEST(NetworkTest, ZeroByteControlMessageCostsLatency) {
+  Network n(smallCfg(8));
+  const auto t = n.control(0.0, 0, 4);
+  EXPECT_NEAR(t.delivered, 1e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace tcio::net

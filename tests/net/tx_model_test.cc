@@ -1,0 +1,137 @@
+// Unit tests for the outstanding-transmit (burst) model and noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/network.h"
+
+namespace tcio::net {
+namespace {
+
+NetworkConfig txCfg(int ranks) {
+  NetworkConfig c;
+  c.num_ranks = ranks;
+  c.ranks_per_node = 1;  // everything inter-node
+  c.nic_bandwidth = 1e9;
+  c.per_message_overhead = 0;
+  c.internode_latency = 1e-6;
+  c.fabric_congestion_gamma = 0;
+  c.connection_setup = 0;
+  c.tx_queue_depth = 4;
+  c.tx_overflow_penalty = 1e-3;
+  return c;
+}
+
+TEST(TxModelTest, NoPenaltyUnderTheDepthLimit) {
+  Network n(txCfg(16));
+  SimTime last = 0;
+  for (int i = 0; i < 4; ++i) {
+    last = n.transfer(0.0, 0, i + 1, 100).delivered;
+  }
+  EXPECT_LT(last, 1e-4);  // bandwidth + latency only
+}
+
+TEST(TxModelTest, BurstBeyondDepthPaysGrowingPenalty) {
+  Network n(txCfg(16));
+  SimTime no_penalty_last = 0, burst_last = 0;
+  {
+    Network calm(txCfg(16));
+    for (int i = 0; i < 12; ++i) {
+      // Spaced-out messages never overflow.
+      no_penalty_last =
+          calm.transfer(i * 1.0, 0, (i % 15) + 1, 100).delivered - i * 1.0;
+    }
+  }
+  for (int i = 0; i < 12; ++i) {
+    burst_last = n.transfer(0.0, 0, (i % 15) + 1, 100).delivered;
+  }
+  EXPECT_GT(burst_last, no_penalty_last + 1e-3);
+}
+
+TEST(TxModelTest, PenaltyGrowsWithOverflow) {
+  // Messages 5..N pay overflow/depth * penalty: deliveries accelerate apart.
+  Network n(txCfg(32));
+  std::vector<SimTime> deliveries;
+  for (int i = 0; i < 20; ++i) {
+    deliveries.push_back(n.transfer(0.0, 0, (i % 31) + 1, 10).delivered);
+  }
+  // Gap between consecutive deliveries in the overflowed tail grows.
+  const SimTime early_gap = deliveries[6] - deliveries[5];
+  const SimTime late_gap = deliveries[19] - deliveries[18];
+  EXPECT_GT(late_gap, early_gap);
+}
+
+TEST(TxModelTest, RdmaTransfersExempt) {
+  Network n(txCfg(16));
+  SimTime last = 0;
+  for (int i = 0; i < 20; ++i) {
+    last = n.transfer(0.0, 0, (i % 15) + 1, 100, /*rdma=*/true).delivered;
+  }
+  EXPECT_LT(last, 1e-4);  // no penalty ever
+}
+
+TEST(TxModelTest, InFlightDrainsOverTime) {
+  Network n(txCfg(16));
+  for (int i = 0; i < 10; ++i) {
+    n.transfer(0.0, 0, (i % 15) + 1, 100);
+  }
+  // Much later, the queue has drained: no penalty again.
+  const auto t = n.transfer(10.0, 0, 1, 100);
+  EXPECT_LT(t.delivered - 10.0, 1e-4);
+}
+
+TEST(TxModelTest, ControlMessagesBypassEverything) {
+  Network n(txCfg(16));
+  for (int i = 0; i < 50; ++i) {
+    const auto t = n.control(0.0, 0, (i % 15) + 1);
+    EXPECT_NEAR(t.delivered, 1e-6, 1e-9);
+    EXPECT_DOUBLE_EQ(t.sender_free, 0.0);
+  }
+}
+
+TEST(JitterTest, DeterministicGivenSeed) {
+  NetworkConfig c = txCfg(4);
+  c.jitter_mean = 2e-6;
+  c.jitter_seed = 77;
+  Network a(c), b(c);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.transfer(0.0, 0, 1, 100).delivered,
+                     b.transfer(0.0, 0, 1, 100).delivered);
+  }
+}
+
+TEST(JitterTest, DifferentSeedsDiffer) {
+  NetworkConfig c1 = txCfg(4);
+  c1.jitter_mean = 2e-6;
+  c1.jitter_seed = 1;
+  NetworkConfig c2 = c1;
+  c2.jitter_seed = 2;
+  Network a(c1), b(c2);
+  bool differ = false;
+  for (int i = 0; i < 20; ++i) {
+    differ |= a.transfer(0.0, 0, 1, 100).delivered !=
+              b.transfer(0.0, 0, 1, 100).delivered;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(JitterTest, HeavyTailEventsOccurAtExpectedRate) {
+  NetworkConfig c = txCfg(2);
+  c.jitter_mean = 1e-7;
+  c.heavy_tail_prob = 0.05;
+  c.heavy_tail_mean = 1e-3;
+  Network n(c);
+  int heavy = 0;
+  const int total = 2000;
+  for (int i = 0; i < total; ++i) {
+    const SimTime base = i * 1.0;
+    const SimTime extra = n.transfer(base, 0, 1, 1).delivered - base;
+    if (extra > 1e-4) ++heavy;
+  }
+  // ~5% +- generous slack.
+  EXPECT_GT(heavy, total * 0.02);
+  EXPECT_LT(heavy, total * 0.10);
+}
+
+}  // namespace
+}  // namespace tcio::net

@@ -1,0 +1,126 @@
+// Stress and adversarial tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "sim/timeline.h"
+
+namespace tcio::sim {
+namespace {
+
+Engine::Config cfg(int p, std::uint64_t seed = 1) {
+  Engine::Config c;
+  c.num_ranks = p;
+  c.seed = seed;
+  return c;
+}
+
+TEST(EngineStressTest, RandomProducerConsumerGraph) {
+  // Random pairwise handoffs: rank i completes events for rank i+1..; each
+  // rank waits on a random subset. Construct so no cycle exists (waits only
+  // on lower ranks) — must terminate with consistent clocks.
+  const int P = 48;
+  Engine eng(cfg(P, 99));
+  std::vector<std::vector<Event>> evs(static_cast<std::size_t>(P));
+  for (auto& v : evs) v = std::vector<Event>(4);
+  std::vector<SimTime> finish(static_cast<std::size_t>(P), 0);
+  eng.run([&](Proc& p) {
+    const int r = p.rank();
+    Rng rng(static_cast<std::uint64_t>(r) + 7);
+    // Wait on up to 3 events of lower ranks.
+    if (r > 0) {
+      for (int k = 0; k < 3; ++k) {
+        const int src = static_cast<int>(rng.uniformInt(0, r - 1));
+        const int slot = static_cast<int>(rng.uniformInt(0, 3));
+        p.wait(evs[static_cast<std::size_t>(src)][static_cast<std::size_t>(slot)],
+               "graph");
+      }
+    }
+    p.advance(rng.uniform() * 0.01);
+    p.atomic([&] {
+      for (auto& e : evs[static_cast<std::size_t>(r)]) {
+        if (!e.ready()) p.complete(e, p.now());
+      }
+      finish[static_cast<std::size_t>(r)] = p.now();
+    });
+  });
+  // Causality: each rank finished no earlier than every rank it waited on
+  // could have completed (weak check: finish times are non-negative and
+  // the run terminated).
+  for (SimTime t : finish) EXPECT_GE(t, 0.0);
+}
+
+TEST(EngineStressTest, ManyRanksManyEvents) {
+  const int P = 256;
+  Engine eng(cfg(P));
+  Timeline shared(1e9);
+  eng.run([&](Proc& p) {
+    for (int i = 0; i < 50; ++i) {
+      p.advance(1e-6 * (p.rank() + 1));
+      p.atomic([&] { p.advanceTo(shared.serve(p.now(), 1000)); });
+    }
+  });
+  EXPECT_EQ(eng.eventCount(), static_cast<std::int64_t>(P) * 50);
+  EXPECT_GT(eng.makespan(), 0.0);
+}
+
+TEST(EngineStressTest, WaitAfterCompleteNeverBlocks) {
+  // Heavily interleaved complete-then-wait patterns.
+  const int P = 32;
+  Engine eng(cfg(P));
+  std::vector<Event> evs(static_cast<std::size_t>(P));
+  eng.run([&](Proc& p) {
+    const int r = p.rank();
+    // Everyone completes their own event first, then waits on a neighbour's.
+    p.advance(0.001 * r);
+    p.atomic([&] { p.complete(evs[static_cast<std::size_t>(r)], p.now()); });
+    p.wait(evs[static_cast<std::size_t>((r + 1) % P)], "neighbour");
+  });
+  EXPECT_DOUBLE_EQ(eng.makespan(), 0.001 * (P - 1));
+}
+
+TEST(EngineStressTest, DeterministicUnderHeavyContention) {
+  auto once = [] {
+    const int P = 64;
+    Engine eng(cfg(P, 5));
+    Timeline line(1e6, 1e-6);
+    std::vector<SimTime> ends(static_cast<std::size_t>(P));
+    eng.run([&](Proc& p) {
+      Rng& rng = p.rng();
+      for (int i = 0; i < 30; ++i) {
+        p.advance(rng.uniform() * 1e-5);
+        p.atomic([&] { p.advanceTo(line.serve(p.now(), rng.uniformInt(1, 999))); });
+      }
+      ends[static_cast<std::size_t>(p.rank())] = p.now();
+    });
+    return ends;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(EngineStressTest, ZeroWorkRanksFinishImmediately) {
+  Engine eng(cfg(512));
+  eng.run([](Proc&) {});
+  EXPECT_DOUBLE_EQ(eng.makespan(), 0.0);
+}
+
+TEST(EngineStressTest, ExceptionStormOnlyFirstFailureReported) {
+  Engine eng(cfg(16));
+  try {
+    eng.run([&](Proc& p) {
+      p.advance(static_cast<double>(p.rank()));
+      p.atomic([] {});
+      // Every rank throws; virtual-time order makes rank 0 deterministic
+      // first.
+      throw FsError("boom from rank " + std::to_string(p.rank()));
+    });
+    FAIL() << "expected FsError";
+  } catch (const FsError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tcio::sim

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "sim/timeline.h"
+
+namespace tcio::sim {
+namespace {
+
+TEST(TimelineDurationTest, ServesFixedDurations) {
+  Timeline t(1.0);  // rate irrelevant for durations
+  EXPECT_DOUBLE_EQ(t.serveDuration(0.0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(t.serveDuration(0.0, 0.25), 0.75);  // queued
+  EXPECT_DOUBLE_EQ(t.serveDuration(2.0, 0.1), 2.1);    // idle gap
+}
+
+TEST(TimelineDurationTest, MixesWithByteService) {
+  Timeline t(100.0);
+  EXPECT_DOUBLE_EQ(t.serve(0.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(t.serveDuration(0.0, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(t.serve(0.0, 50), 2.0);
+}
+
+TEST(TimelineDurationTest, CongestionCapBoundsSlowdown) {
+  Timeline t(100.0);
+  t.setCongestion(/*gamma=*/100.0, /*tau=*/1e-3, /*max_slowdown=*/2.0);
+  t.serve(0.0, 1000);  // builds 10s of backlog
+  // Massive backlog, but the next request slows by at most 2x.
+  const SimTime before = t.horizon();
+  const SimTime end = t.serve(0.0, 100);
+  EXPECT_NEAR(end - before, 2.0, 1e-9);
+}
+
+TEST(TimelineDurationTest, CongestionAppliesToDurations) {
+  Timeline calm(1.0);
+  Timeline cong(1.0);
+  cong.setCongestion(1.0, 0.1, 4.0);
+  calm.serveDuration(0.0, 1.0);
+  cong.serveDuration(0.0, 1.0);
+  const SimTime e1 = calm.serveDuration(0.0, 1.0);
+  const SimTime e2 = cong.serveDuration(0.0, 1.0);
+  EXPECT_GT(e2, e1);
+}
+
+TEST(TimelineDurationTest, RequestCountersIncludeDurations) {
+  Timeline t(10.0);
+  t.serve(0.0, 10);
+  t.serveDuration(0.0, 1.0);
+  EXPECT_EQ(t.totalRequests(), 2);
+  EXPECT_EQ(t.totalBytes(), 10);  // durations move no bytes
+}
+
+TEST(TimelineDurationTest, ZeroDurationStillOrdersFcfs) {
+  Timeline t(10.0);
+  t.serve(0.0, 100);  // horizon 10
+  EXPECT_DOUBLE_EQ(t.serveDuration(0.0, 0.0), 10.0);
+}
+
+}  // namespace
+}  // namespace tcio::sim

@@ -1,0 +1,76 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace tcio::sim {
+namespace {
+
+TEST(TimelineTest, ServesAtNominalRateWhenIdle) {
+  Timeline t(100.0);  // 100 bytes/sec
+  EXPECT_DOUBLE_EQ(t.serve(0.0, 50), 0.5);
+  EXPECT_DOUBLE_EQ(t.horizon(), 0.5);
+}
+
+TEST(TimelineTest, QueuesFcfs) {
+  Timeline t(100.0);
+  EXPECT_DOUBLE_EQ(t.serve(0.0, 100), 1.0);
+  // Arrives at 0.2 but must wait for the first transfer.
+  EXPECT_DOUBLE_EQ(t.serve(0.2, 100), 2.0);
+}
+
+TEST(TimelineTest, IdleGapResetsBacklog) {
+  Timeline t(100.0);
+  t.serve(0.0, 100);              // done at 1.0
+  EXPECT_DOUBLE_EQ(t.serve(5.0, 100), 6.0);  // starts fresh at 5.0
+  EXPECT_DOUBLE_EQ(t.backlog(7.0), 0.0);
+}
+
+TEST(TimelineTest, PerRequestOverheadCharged) {
+  Timeline t(100.0, 0.25);
+  EXPECT_DOUBLE_EQ(t.serve(0.0, 100), 1.25);
+}
+
+TEST(TimelineTest, BacklogReported) {
+  Timeline t(100.0);
+  t.serve(0.0, 300);  // horizon 3.0
+  EXPECT_DOUBLE_EQ(t.backlog(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.backlog(4.0), 0.0);
+}
+
+TEST(TimelineTest, CongestionSlowsBurstTail) {
+  Timeline fast(100.0);
+  Timeline congested(100.0);
+  congested.setCongestion(/*gamma=*/1.0, /*tau=*/1.0);
+  // Both serve a burst of 4 back-to-back requests arriving at t=0.
+  SimTime end_fast = 0, end_cong = 0;
+  for (int i = 0; i < 4; ++i) {
+    end_fast = fast.serve(0.0, 100);
+    end_cong = congested.serve(0.0, 100);
+  }
+  EXPECT_DOUBLE_EQ(end_fast, 4.0);
+  EXPECT_GT(end_cong, end_fast);  // tail served slower due to backlog
+}
+
+TEST(TimelineTest, CongestionDoesNotAffectIsolatedRequests) {
+  Timeline t(100.0);
+  t.setCongestion(2.0, 0.1);
+  EXPECT_DOUBLE_EQ(t.serve(0.0, 100), 1.0);   // no backlog, nominal
+  EXPECT_DOUBLE_EQ(t.serve(10.0, 100), 11.0);  // idle again
+}
+
+TEST(TimelineTest, CountersAccumulate) {
+  Timeline t(100.0);
+  t.serve(0.0, 10);
+  t.serve(0.0, 20);
+  EXPECT_EQ(t.totalBytes(), 30);
+  EXPECT_EQ(t.totalRequests(), 2);
+  EXPECT_GT(t.busyTime(), 0.0);
+}
+
+TEST(TimelineTest, ZeroByteRequestChargesOnlyOverhead) {
+  Timeline t(100.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.serve(1.0, 0), 1.5);
+}
+
+}  // namespace
+}  // namespace tcio::sim

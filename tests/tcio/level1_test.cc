@@ -1,0 +1,71 @@
+#include "tcio/level1.h"
+
+#include <gtest/gtest.h>
+
+namespace tcio::core {
+namespace {
+
+TEST(Level1BufferTest, StartsEmptyUnaligned) {
+  Level1Buffer b(1024);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.alignedSegment(), -1);
+}
+
+TEST(Level1BufferTest, PutRecordsExtentAndData) {
+  Level1Buffer b(1024);
+  b.align(5);
+  const int v = 42;
+  b.put(100, &v, 4);
+  EXPECT_FALSE(b.empty());
+  const auto ext = b.mergedExtents();
+  ASSERT_EQ(ext.size(), 1u);
+  EXPECT_EQ(ext[0], (Extent{100, 104}));
+  int got = 0;
+  std::memcpy(&got, b.data() + 100, 4);
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Level1BufferTest, AdjacentPutsMerge) {
+  Level1Buffer b(1024);
+  b.align(0);
+  const char x[8] = {};
+  b.put(0, x, 4);
+  b.put(4, x, 8);
+  b.put(20, x, 4);
+  const auto ext = b.mergedExtents();
+  ASSERT_EQ(ext.size(), 2u);
+  EXPECT_EQ(ext[0], (Extent{0, 12}));
+  EXPECT_EQ(ext[1], (Extent{20, 24}));
+}
+
+TEST(Level1BufferTest, OverlappingRewriteIsLegal) {
+  Level1Buffer b(1024);
+  b.align(0);
+  const int a = 1, c = 2;
+  b.put(0, &a, 4);
+  b.put(2, &c, 4);  // overlaps previous
+  const auto ext = b.mergedExtents();
+  ASSERT_EQ(ext.size(), 1u);
+  EXPECT_EQ(ext[0], (Extent{0, 6}));
+}
+
+TEST(Level1BufferTest, OutOfBoundsPutRejected) {
+  Level1Buffer b(64);
+  b.align(0);
+  const char x[16] = {};
+  EXPECT_THROW(b.put(60, x, 8), Error);
+  EXPECT_THROW(b.put(-1, x, 4), Error);
+}
+
+TEST(Level1BufferTest, RealignRequiresEmpty) {
+  Level1Buffer b(64);
+  b.align(1);
+  const char x = 0;
+  b.put(0, &x, 1);
+  EXPECT_THROW(b.align(2), Error);
+  b.reset();
+  EXPECT_NO_THROW(b.align(2));
+}
+
+}  // namespace
+}  // namespace tcio::core

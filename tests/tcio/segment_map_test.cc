@@ -1,0 +1,63 @@
+#include "tcio/segment_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tcio::core {
+namespace {
+
+TEST(SegmentMapTest, PaperEquationsSmallExample) {
+  // Paper Fig. 3: segments round-robin over ranks.
+  SegmentMap m(100, 4);
+  EXPECT_EQ(m.segmentOf(0), 0);
+  EXPECT_EQ(m.segmentOf(99), 0);
+  EXPECT_EQ(m.segmentOf(100), 1);
+  EXPECT_EQ(m.rankOf(0), 0);
+  EXPECT_EQ(m.rankOf(1), 1);
+  EXPECT_EQ(m.rankOf(4), 0);    // wraps
+  EXPECT_EQ(m.slotOf(4), 1);    // second segment of rank 0
+  EXPECT_EQ(m.dispOf(457), 57);
+}
+
+TEST(SegmentMapTest, InverseMappingRoundTrips) {
+  SegmentMap m(1 << 20, 7);
+  for (SegmentId g = 0; g < 1000; ++g) {
+    EXPECT_EQ(m.segmentFor(m.rankOf(g), m.slotOf(g)), g);
+  }
+}
+
+class SegmentMapProperty : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, SegmentMapProperty,
+                         ::testing::Values(1, 2, 3, 16, 64, 1024));
+
+TEST_P(SegmentMapProperty, OffsetDecompositionIsExact) {
+  const int P = GetParam();
+  SegmentMap m(4096, P);
+  Rng rng(static_cast<std::uint64_t>(P));
+  for (int i = 0; i < 2000; ++i) {
+    const Offset off = rng.uniformInt(0, 1LL << 40);
+    const SegmentId g = m.segmentOf(off);
+    // offset reconstructs from (segment, displacement)
+    EXPECT_EQ(m.baseOf(g) + m.dispOf(off), off);
+    // owner in range
+    EXPECT_GE(m.rankOf(g), 0);
+    EXPECT_LT(m.rankOf(g), P);
+    // slot consistent with round-robin
+    EXPECT_EQ(m.segmentFor(m.rankOf(g), m.slotOf(g)), g);
+  }
+}
+
+TEST_P(SegmentMapProperty, ConsecutiveSegmentsBalanceAcrossRanks) {
+  const int P = GetParam();
+  SegmentMap m(64, P);
+  std::vector<int> counts(static_cast<std::size_t>(P), 0);
+  const int total = P * 13;
+  for (SegmentId g = 0; g < total; ++g) {
+    ++counts[static_cast<std::size_t>(m.rankOf(g))];
+  }
+  for (int c : counts) EXPECT_EQ(c, 13);  // perfectly balanced
+}
+
+}  // namespace
+}  // namespace tcio::core

@@ -1,0 +1,514 @@
+#include "tcio/file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mpi/runtime.h"
+#include "tcio/capi.h"
+
+namespace tcio::core {
+namespace {
+
+fs::FsConfig fsCfg() {
+  fs::FsConfig c;
+  c.num_osts = 4;
+  c.stripe_size = 1024;
+  return c;
+}
+
+mpi::JobConfig job(int p) {
+  mpi::JobConfig c;
+  c.num_ranks = p;
+  return c;
+}
+
+TcioConfig smallTcio(Bytes seg = 256, std::int64_t nseg = 16) {
+  TcioConfig c;
+  c.segment_size = seg;
+  c.segments_per_rank = nseg;
+  return c;
+}
+
+TEST(TcioFileTest, SingleRankWriteCloseReadBack) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "one.dat", fs::kWrite | fs::kCreate, smallTcio());
+    const std::vector<int> data{1, 2, 3, 4, 5};
+    f.writeAt(0, data.data(), 20);
+    f.close();
+  });
+  std::vector<int> out(5);
+  fsys.peek("one.dat", 0, {reinterpret_cast<std::byte*>(out.data()), 20});
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(fsys.peekSize("one.dat"), 20);
+}
+
+TEST(TcioFileTest, PaperFig4Workflow) {
+  // Two processes, two in-memory arrays (int, double), LEN=3, interleaved
+  // round-robin into a shared file — the paper's running example.
+  fs::Filesystem fsys(fsCfg());
+  const int P = 2, LEN = 3;
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "fig4.dat", fs::kWrite | fs::kCreate,
+           smallTcio(/*seg=*/36, /*nseg=*/4));
+    const int r = comm.rank();
+    std::vector<std::int32_t> ints{r * 10 + 1, r * 10 + 2, r * 10 + 3};
+    std::vector<double> dbls{r + 0.1, r + 0.2, r + 0.3};
+    const Bytes block = 12;  // int + double
+    for (int i = 0; i < LEN; ++i) {
+      Offset pos = r * block + static_cast<Offset>(i) * block * P;
+      f.writeAt(pos, &ints[static_cast<std::size_t>(i)], 4);
+      f.writeAt(pos + 4, &dbls[static_cast<std::size_t>(i)], 8);
+    }
+    f.close();
+  });
+  // File: slot k = rank k%2, element k/2.
+  for (int slot = 0; slot < P * LEN; ++slot) {
+    const int r = slot % P, i = slot / P;
+    std::int32_t iv;
+    double dv;
+    std::vector<std::byte> raw(12);
+    fsys.peek("fig4.dat", slot * 12, raw);
+    std::memcpy(&iv, raw.data(), 4);
+    std::memcpy(&dv, raw.data() + 4, 8);
+    EXPECT_EQ(iv, r * 10 + i + 1);
+    EXPECT_DOUBLE_EQ(dv, r + 0.1 * (i + 1));
+  }
+}
+
+TEST(TcioFileTest, WriteSpanningSegmentsSplitsCorrectly) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "span.dat", fs::kWrite | fs::kCreate,
+           smallTcio(/*seg=*/128, /*nseg=*/8));
+    if (comm.rank() == 0) {
+      std::vector<std::byte> big(500);
+      for (std::size_t i = 0; i < big.size(); ++i) {
+        big[i] = static_cast<std::byte>(i % 251);
+      }
+      f.writeAt(100, big.data(), 500);  // spans segments 0..4
+    }
+    f.close();
+  });
+  std::vector<std::byte> out(500);
+  fsys.peek("span.dat", 100, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<std::byte>(i % 251)) << i;
+  }
+}
+
+TEST(TcioFileTest, WriteThenReadBackSameSessionViaFetch) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(4), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "rw.dat", fs::kRead | fs::kWrite | fs::kCreate,
+           smallTcio());
+    const std::int64_t v = comm.rank() * 111;
+    f.writeAt(comm.rank() * 8, &v, 8);
+    f.flush();
+    // Every rank reads its right neighbour's value.
+    const int peer = (comm.rank() + 1) % comm.size();
+    std::int64_t got = -1;
+    f.readAt(peer * 8, &got, 8);
+    f.fetch();
+    EXPECT_EQ(got, peer * 111);
+    f.close();
+  });
+}
+
+TEST(TcioFileTest, RestartDumpThenLoad) {
+  // The ART pattern: dump a snapshot, close, reopen, restore.
+  fs::Filesystem fsys(fsCfg());
+  const int P = 4;
+  const Bytes per_rank = 1000;
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "snap.dat", fs::kWrite | fs::kCreate, smallTcio());
+    std::vector<std::byte> mine(static_cast<std::size_t>(per_rank));
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = static_cast<std::byte>((comm.rank() * 131 + i) % 251);
+    }
+    f.writeAt(comm.rank() * per_rank, mine.data(), per_rank);
+    f.close();
+  });
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "snap.dat", fs::kRead, smallTcio());
+    std::vector<std::byte> got(static_cast<std::size_t>(per_rank));
+    f.readAt(comm.rank() * per_rank, got.data(), per_rank);
+    f.fetch();
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], static_cast<std::byte>((comm.rank() * 131 + i) % 251));
+    }
+    f.close();
+  });
+}
+
+TEST(TcioFileTest, LazyReadDoesNotMaterializeUntilFetch) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    {
+      File w(comm, fsys, "lazy.dat", fs::kWrite | fs::kCreate, smallTcio());
+      const std::int64_t v = 7777;
+      if (comm.rank() == 0) w.writeAt(0, &v, 8);
+      w.close();
+    }
+    File f(comm, fsys, "lazy.dat", fs::kRead, smallTcio());
+    std::int64_t got = -1;
+    f.readAt(0, &got, 8);
+    EXPECT_EQ(got, -1);  // lazy: nothing landed yet
+    f.fetch();
+    EXPECT_EQ(got, 7777);
+    f.close();
+  });
+}
+
+TEST(TcioFileTest, EagerReadAblationMaterializesImmediately) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    {
+      File w(comm, fsys, "eager.dat", fs::kWrite | fs::kCreate, smallTcio());
+      const std::int64_t v = 1234;
+      if (comm.rank() == 0) w.writeAt(0, &v, 8);
+      w.close();
+    }
+    TcioConfig cfg = smallTcio();
+    cfg.lazy_reads = false;
+    File f(comm, fsys, "eager.dat", fs::kRead, cfg);
+    std::int64_t got = -1;
+    f.readAt(0, &got, 8);
+    EXPECT_EQ(got, 1234);  // already there
+    f.close();
+  });
+}
+
+TEST(TcioFileTest, AutoIndependentFetchOnSegmentChange) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    {
+      File w(comm, fsys, "auto.dat", fs::kWrite | fs::kCreate,
+             smallTcio(/*seg=*/64, /*nseg=*/8));
+      if (comm.rank() == 0) {
+        std::vector<std::int64_t> vals{10, 20, 30, 40};
+        for (int i = 0; i < 4; ++i) {
+          w.writeAt(i * 64, &vals[static_cast<std::size_t>(i)], 8);
+        }
+      }
+      w.close();
+    }
+    TcioConfig rc = smallTcio(/*seg=*/64, /*nseg=*/8);
+    rc.auto_fetch_on_segment_exit = true;  // the paper's literal trigger
+    File f(comm, fsys, "auto.dat", fs::kRead, rc);
+    std::int64_t a = -1, b = -1;
+    f.readAt(0, &a, 8);    // pending in segment 0
+    f.readAt(64, &b, 8);   // crosses to segment 1 -> segment-0 group resolves
+    EXPECT_EQ(a, 10);
+    EXPECT_EQ(b, -1);      // still pending
+    EXPECT_EQ(f.stats().independent_fetches, 1);
+    f.fetch();
+    EXPECT_EQ(b, 20);
+    f.close();
+  });
+}
+
+TEST(TcioFileTest, InterleavedManyRanksMatchesReferenceModel) {
+  // Property test: the paper's benchmark pattern at several scales must
+  // produce exactly the bytes a sequential reference model produces.
+  for (const int P : {2, 4, 8}) {
+    fs::Filesystem fsys(fsCfg());
+    const int LEN = 32;
+    const Bytes block = 12;
+    std::vector<std::byte> reference(
+        static_cast<std::size_t>(P * LEN * block));
+    // Reference: rank r element i -> slot i*P + r.
+    for (int r = 0; r < P; ++r) {
+      for (int i = 0; i < LEN; ++i) {
+        const std::int32_t iv = r * 1000 + i;
+        const double dv = r * 3.0 + i;
+        const std::size_t pos =
+            static_cast<std::size_t>((i * P + r) * block);
+        std::memcpy(reference.data() + pos, &iv, 4);
+        std::memcpy(reference.data() + pos + 4, &dv, 8);
+      }
+    }
+    mpi::runJob(job(P), [&](mpi::Comm& comm) {
+      File f(comm, fsys, "ref.dat", fs::kWrite | fs::kCreate,
+             smallTcio(/*seg=*/96, /*nseg=*/64));
+      const int r = comm.rank();
+      for (int i = 0; i < LEN; ++i) {
+        const std::int32_t iv = r * 1000 + i;
+        const double dv = r * 3.0 + i;
+        const Offset pos = (static_cast<Offset>(i) * P + r) * block;
+        f.writeAt(pos, &iv, 4);
+        f.writeAt(pos + 4, &dv, 8);
+      }
+      f.close();
+    });
+    std::vector<std::byte> got(reference.size());
+    fsys.peek("ref.dat", 0, got);
+    EXPECT_EQ(got, reference) << "P=" << P;
+  }
+}
+
+TEST(TcioFileTest, VariableSizedBlocksLikeArt) {
+  // Dynamic block sizes — the case where OCIO file views cannot be used.
+  fs::Filesystem fsys(fsCfg());
+  const int P = 4;
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "var.dat", fs::kWrite | fs::kCreate,
+           smallTcio(/*seg=*/128, /*nseg=*/64));
+    // Rank r writes blocks of size 10+r*7 at offsets interleaved with a
+    // running global cursor every rank can compute.
+    Offset cursor = 0;
+    for (int round = 0; round < 6; ++round) {
+      for (int r = 0; r < P; ++r) {
+        const Bytes len = 10 + r * 7 + round;
+        if (r == comm.rank()) {
+          std::vector<std::byte> data(static_cast<std::size_t>(len),
+                                      static_cast<std::byte>(r * 40 + round));
+          f.writeAt(cursor, data.data(), len);
+        }
+        cursor += len;
+      }
+    }
+    f.close();
+  });
+  // Verify with the same cursor walk.
+  Offset cursor = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int r = 0; r < P; ++r) {
+      const Bytes len = 10 + r * 7 + round;
+      std::vector<std::byte> got(static_cast<std::size_t>(len));
+      fsys.peek("var.dat", cursor, got);
+      for (auto b : got) {
+        ASSERT_EQ(b, static_cast<std::byte>(r * 40 + round))
+            << "round " << round << " rank " << r;
+      }
+      cursor += len;
+    }
+  }
+}
+
+TEST(TcioFileTest, TwoSidedAblationProducesIdenticalFile) {
+  auto runMode = [&](bool onesided) {
+    fs::Filesystem fsys(fsCfg());
+    const int P = 4, LEN = 16;
+    mpi::runJob(job(P), [&](mpi::Comm& comm) {
+      TcioConfig cfg = smallTcio(/*seg=*/96, /*nseg=*/32);
+      cfg.use_onesided = onesided;
+      File f(comm, fsys, "mode.dat", fs::kWrite | fs::kCreate, cfg);
+      for (int i = 0; i < LEN; ++i) {
+        const std::int64_t v = comm.rank() * 100 + i;
+        f.writeAt((static_cast<Offset>(i) * P + comm.rank()) * 8, &v, 8);
+      }
+      f.close();
+    });
+    std::vector<std::byte> contents(static_cast<std::size_t>(P * LEN * 8));
+    fsys.peek("mode.dat", 0, contents);
+    return contents;
+  };
+  EXPECT_EQ(runMode(true), runMode(false));
+}
+
+TEST(TcioFileTest, TwoSidedReadFetch) {
+  fs::Filesystem fsys(fsCfg());
+  const int P = 4;
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    TcioConfig cfg = smallTcio();
+    cfg.use_onesided = false;
+    {
+      File w(comm, fsys, "ts.dat", fs::kWrite | fs::kCreate, cfg);
+      const std::int64_t v = comm.rank() + 50;
+      w.writeAt(comm.rank() * 8, &v, 8);
+      w.close();
+    }
+    File f(comm, fsys, "ts.dat", fs::kRead, cfg);
+    const int peer = (comm.rank() + 2) % P;
+    std::int64_t got = -1;
+    f.readAt(peer * 8, &got, 8);
+    f.fetch();
+    EXPECT_EQ(got, peer + 50);
+    f.close();
+  });
+}
+
+TEST(TcioFileTest, CapacityOverflowRejected) {
+  fs::Filesystem fsys(fsCfg());
+  EXPECT_THROW(
+      mpi::runJob(job(2),
+                  [&](mpi::Comm& comm) {
+                    File f(comm, fsys, "cap.dat", fs::kWrite | fs::kCreate,
+                           smallTcio(/*seg=*/64, /*nseg=*/2));
+                    // capacity = 64*2*2 = 256
+                    const std::int64_t v = 0;
+                    f.writeAt(300, &v, 8);
+                    f.close();
+                  }),
+      Error);
+}
+
+TEST(TcioFileTest, MemoryFootprintIsLevel1PlusWindow) {
+  fs::Filesystem fsys(fsCfg());
+  const Bytes seg = 512;
+  const std::int64_t nseg = 8;
+  Bytes peak = 0;
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "mem.dat", fs::kWrite | fs::kCreate,
+           smallTcio(seg, nseg));
+    const std::int64_t v = 1;
+    f.writeAt(comm.rank() * 8, &v, 8);
+    f.close();
+    if (comm.rank() == 0) peak = comm.memory().peak();
+  });
+  // level-1 (seg) + window (nseg * (seg + 2 flag bytes)).
+  EXPECT_EQ(peak, seg + nseg * (seg + 2));
+}
+
+TEST(TcioFileTest, StatsCountOperations) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "stat.dat", fs::kRead | fs::kWrite | fs::kCreate,
+           smallTcio(/*seg=*/64, /*nseg=*/8));
+    const std::int64_t v = 5;
+    f.writeAt(0, &v, 8);
+    f.writeAt(64, &v, 8);  // new segment -> flush of segment 0
+    EXPECT_EQ(f.stats().writes, 2);
+    EXPECT_EQ(f.stats().level1_flushes, 1);
+    f.flush();
+    EXPECT_EQ(f.stats().level1_flushes, 2);
+    std::int64_t got;
+    f.readAt(0, &got, 8);
+    f.fetch();
+    EXPECT_EQ(f.stats().reads, 1);
+    EXPECT_GE(f.stats().collective_fetches, 1);
+    f.close();
+  });
+}
+
+TEST(TcioFileTest, SequentialWriteApiMovesPointer) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "seq.dat", fs::kWrite | fs::kCreate, smallTcio());
+    const auto dt = mpi::Datatype::int32();
+    const std::int32_t a[2] = {1, 2};
+    const std::int32_t b[1] = {3};
+    f.write(a, 2, dt);
+    EXPECT_EQ(f.tell(), 8);
+    f.write(b, 1, dt);
+    EXPECT_EQ(f.tell(), 12);
+    f.seek(4, Whence::kSet);
+    const std::int32_t c = 9;
+    f.write(&c, 1, dt);
+    f.close();
+  });
+  std::int32_t out[3];
+  fsys.peek("seq.dat", 0, {reinterpret_cast<std::byte*>(out), 12});
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 9);
+  EXPECT_EQ(out[2], 3);
+}
+
+TEST(TcioFileTest, CApiProgramThreeStyle) {
+  // Program 3, literally: POSIX-like calls, no buffers, no file views.
+  fs::Filesystem fsys(fsCfg());
+  const int P = 2;
+  const std::int64_t LEN = 6;
+  const Bytes SIZEaccess = 1;
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    tcio_set_context(comm, fsys, smallTcio(/*seg=*/96, /*nseg=*/16));
+    std::vector<std::int32_t> arr_i(static_cast<std::size_t>(LEN));
+    std::vector<double> arr_d(static_cast<std::size_t>(LEN));
+    for (std::int64_t i = 0; i < LEN; ++i) {
+      arr_i[static_cast<std::size_t>(i)] = comm.rank() * 100 + static_cast<int>(i);
+      arr_d[static_cast<std::size_t>(i)] = comm.rank() + i * 0.5;
+    }
+    const Bytes block_size = (4 + 8) * SIZEaccess;
+    tcio_file* handle =
+        tcio_open("prog3.dat", TCIO_WRONLY | TCIO_CREATE);
+    for (std::int64_t i = 0; i < LEN; i += SIZEaccess) {
+      Offset pos = comm.rank() * block_size + i * block_size * P;
+      tcio_write_at(handle, pos, &arr_i[static_cast<std::size_t>(i)],
+                    static_cast<int>(SIZEaccess), mpi::Datatype::int32());
+      pos += 4 * SIZEaccess;
+      tcio_write_at(handle, pos, &arr_d[static_cast<std::size_t>(i)],
+                    static_cast<int>(SIZEaccess), mpi::Datatype::float64());
+    }
+    tcio_close(handle);
+  });
+  for (int slot = 0; slot < P * LEN; ++slot) {
+    const int r = slot % P, i = slot / P;
+    std::int32_t iv;
+    double dv;
+    std::vector<std::byte> raw(12);
+    fsys.peek("prog3.dat", slot * 12, raw);
+    std::memcpy(&iv, raw.data(), 4);
+    std::memcpy(&dv, raw.data() + 4, 8);
+    EXPECT_EQ(iv, r * 100 + i);
+    EXPECT_DOUBLE_EQ(dv, r + i * 0.5);
+  }
+}
+
+TEST(TcioFileTest, RandomizedPatternMatchesReference) {
+  // Fuzz: random disjoint writes from all ranks, verified byte-for-byte.
+  fs::Filesystem fsys(fsCfg());
+  const int P = 4;
+  const Bytes total = 8192;
+  std::vector<std::byte> reference(static_cast<std::size_t>(total),
+                                   std::byte{0});
+  // Precompute a deterministic disjoint random partition: shuffle chunks of
+  // random lengths among ranks.
+  Rng rng(99);
+  struct Piece {
+    Offset off;
+    Bytes len;
+    int rank;
+  };
+  std::vector<Piece> pieces;
+  Offset cur = 0;
+  while (cur < total) {
+    const Bytes len = std::min<Bytes>(1 + rng.uniformInt(0, 99), total - cur);
+    const int owner = static_cast<int>(rng.uniformInt(0, P - 1));
+    pieces.push_back({cur, len, owner});
+    cur += len;
+  }
+  for (const Piece& p : pieces) {
+    for (Bytes i = 0; i < p.len; ++i) {
+      reference[static_cast<std::size_t>(p.off + i)] =
+          static_cast<std::byte>((p.rank * 53 + p.off + i) % 251);
+    }
+  }
+  mpi::runJob(job(P), [&](mpi::Comm& comm) {
+    File f(comm, fsys, "fuzz.dat", fs::kWrite | fs::kCreate,
+           smallTcio(/*seg=*/256, /*nseg=*/16));
+    for (const Piece& p : pieces) {
+      if (p.rank != comm.rank()) continue;
+      std::vector<std::byte> data(static_cast<std::size_t>(p.len));
+      for (Bytes i = 0; i < p.len; ++i) {
+        data[static_cast<std::size_t>(i)] =
+            static_cast<std::byte>((p.rank * 53 + p.off + i) % 251);
+      }
+      f.writeAt(p.off, data.data(), p.len);
+    }
+    f.close();
+  });
+  std::vector<std::byte> got(static_cast<std::size_t>(total));
+  fsys.peek("fuzz.dat", 0, got);
+  EXPECT_EQ(got, reference);
+}
+
+TEST(TcioFileTest, FsFaultDuringClosePropagates) {
+  fs::Filesystem fsys(fsCfg());
+  fsys.injectWriteFault(0);  // first FS write request fails
+  EXPECT_THROW(
+      mpi::runJob(job(2),
+                  [&](mpi::Comm& comm) {
+                    File f(comm, fsys, "fault.dat", fs::kWrite | fs::kCreate,
+                           smallTcio());
+                    const std::int64_t v = 1;
+                    f.writeAt(comm.rank() * 8, &v, 8);
+                    f.close();
+                  }),
+      FsError);
+}
+
+}  // namespace
+}  // namespace tcio::core

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+
+namespace tcio::workload {
+namespace {
+
+TEST(TypeArrayTest, PaperDefault) {
+  EXPECT_EQ(parseTypeArray("i,d"), (std::vector<Bytes>{4, 8}));
+}
+
+TEST(TypeArrayTest, AllFiveCodes) {
+  EXPECT_EQ(parseTypeArray("c,s,i,f,d"), (std::vector<Bytes>{1, 2, 4, 4, 8}));
+}
+
+TEST(TypeArrayTest, WhitespaceTolerated) {
+  EXPECT_EQ(parseTypeArray("i, d"), (std::vector<Bytes>{4, 8}));
+}
+
+TEST(TypeArrayTest, SingleType) {
+  EXPECT_EQ(parseTypeArray("d"), (std::vector<Bytes>{8}));
+}
+
+TEST(TypeArrayTest, UnknownCodeThrows) {
+  EXPECT_THROW(parseTypeArray("i,x"), Error);
+}
+
+TEST(TypeArrayTest, EmptyThrows) {
+  EXPECT_THROW(parseTypeArray(""), Error);
+  EXPECT_THROW(parseTypeArray(","), Error);
+}
+
+TEST(TypeArrayTest, RoundTripsThroughBenchmarkConfig) {
+  BenchmarkConfig cfg;
+  cfg.array_elem_sizes = parseTypeArray("c,d");
+  cfg.len_array = 10;
+  EXPECT_EQ(totalFileSize(cfg, 4), 4 * 10 * 9);
+}
+
+}  // namespace
+}  // namespace tcio::workload

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lazy_read.dir/bench_ablation_lazy_read.cc.o"
+  "CMakeFiles/bench_ablation_lazy_read.dir/bench_ablation_lazy_read.cc.o.d"
+  "bench_ablation_lazy_read"
+  "bench_ablation_lazy_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lazy_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_onesided.dir/bench_ablation_onesided.cc.o"
+  "CMakeFiles/bench_ablation_onesided.dir/bench_ablation_onesided.cc.o.d"
+  "bench_ablation_onesided"
+  "bench_ablation_onesided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_onesided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

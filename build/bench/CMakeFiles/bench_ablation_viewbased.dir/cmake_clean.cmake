@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_viewbased.dir/bench_ablation_viewbased.cc.o"
+  "CMakeFiles/bench_ablation_viewbased.dir/bench_ablation_viewbased.cc.o.d"
+  "bench_ablation_viewbased"
+  "bench_ablation_viewbased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_viewbased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_fs.dir/bench_micro_fs.cc.o"
+  "CMakeFiles/bench_micro_fs.dir/bench_micro_fs.cc.o.d"
+  "bench_micro_fs"
+  "bench_micro_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_mpi.dir/bench_micro_mpi.cc.o"
+  "CMakeFiles/bench_micro_mpi.dir/bench_micro_mpi.cc.o.d"
+  "bench_micro_mpi"
+  "bench_micro_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

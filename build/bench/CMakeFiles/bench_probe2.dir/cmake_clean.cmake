@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probe2.dir/bench_probe2.cc.o"
+  "CMakeFiles/bench_probe2.dir/bench_probe2.cc.o.d"
+  "bench_probe2"
+  "bench_probe2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probe2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

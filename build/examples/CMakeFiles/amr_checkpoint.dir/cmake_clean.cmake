@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_checkpoint.dir/amr_checkpoint.cpp.o"
+  "CMakeFiles/amr_checkpoint.dir/amr_checkpoint.cpp.o.d"
+  "amr_checkpoint"
+  "amr_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

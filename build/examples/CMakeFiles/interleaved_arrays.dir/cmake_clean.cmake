@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleaved_arrays.dir/interleaved_arrays.cpp.o"
+  "CMakeFiles/interleaved_arrays.dir/interleaved_arrays.cpp.o.d"
+  "interleaved_arrays"
+  "interleaved_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleaved_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/iorlike.cpp" "examples/CMakeFiles/iorlike.dir/iorlike.cpp.o" "gcc" "examples/CMakeFiles/iorlike.dir/iorlike.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcio/CMakeFiles/tcio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/tcio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/art/CMakeFiles/tcio_art.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tcio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/tcio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tcio_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iorlike.dir/iorlike.cpp.o"
+  "CMakeFiles/iorlike.dir/iorlike.cpp.o.d"
+  "iorlike"
+  "iorlike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iorlike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

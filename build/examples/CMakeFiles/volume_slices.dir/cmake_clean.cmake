@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_slices.dir/volume_slices.cpp.o"
+  "CMakeFiles/volume_slices.dir/volume_slices.cpp.o.d"
+  "volume_slices"
+  "volume_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcio_art.dir/checkpoint.cc.o"
+  "CMakeFiles/tcio_art.dir/checkpoint.cc.o.d"
+  "CMakeFiles/tcio_art.dir/ftt.cc.o"
+  "CMakeFiles/tcio_art.dir/ftt.cc.o.d"
+  "libtcio_art.a"
+  "libtcio_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcio_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcio_common.dir/env.cc.o"
+  "CMakeFiles/tcio_common.dir/env.cc.o.d"
+  "CMakeFiles/tcio_common.dir/error.cc.o"
+  "CMakeFiles/tcio_common.dir/error.cc.o.d"
+  "CMakeFiles/tcio_common.dir/table.cc.o"
+  "CMakeFiles/tcio_common.dir/table.cc.o.d"
+  "libtcio_common.a"
+  "libtcio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

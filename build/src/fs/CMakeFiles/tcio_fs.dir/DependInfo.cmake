@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/cache.cc" "src/fs/CMakeFiles/tcio_fs.dir/cache.cc.o" "gcc" "src/fs/CMakeFiles/tcio_fs.dir/cache.cc.o.d"
+  "/root/repo/src/fs/client.cc" "src/fs/CMakeFiles/tcio_fs.dir/client.cc.o" "gcc" "src/fs/CMakeFiles/tcio_fs.dir/client.cc.o.d"
+  "/root/repo/src/fs/filesystem.cc" "src/fs/CMakeFiles/tcio_fs.dir/filesystem.cc.o" "gcc" "src/fs/CMakeFiles/tcio_fs.dir/filesystem.cc.o.d"
+  "/root/repo/src/fs/lock_manager.cc" "src/fs/CMakeFiles/tcio_fs.dir/lock_manager.cc.o" "gcc" "src/fs/CMakeFiles/tcio_fs.dir/lock_manager.cc.o.d"
+  "/root/repo/src/fs/store.cc" "src/fs/CMakeFiles/tcio_fs.dir/store.cc.o" "gcc" "src/fs/CMakeFiles/tcio_fs.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

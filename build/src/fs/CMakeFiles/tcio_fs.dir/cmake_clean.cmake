@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcio_fs.dir/cache.cc.o"
+  "CMakeFiles/tcio_fs.dir/cache.cc.o.d"
+  "CMakeFiles/tcio_fs.dir/client.cc.o"
+  "CMakeFiles/tcio_fs.dir/client.cc.o.d"
+  "CMakeFiles/tcio_fs.dir/filesystem.cc.o"
+  "CMakeFiles/tcio_fs.dir/filesystem.cc.o.d"
+  "CMakeFiles/tcio_fs.dir/lock_manager.cc.o"
+  "CMakeFiles/tcio_fs.dir/lock_manager.cc.o.d"
+  "CMakeFiles/tcio_fs.dir/store.cc.o"
+  "CMakeFiles/tcio_fs.dir/store.cc.o.d"
+  "libtcio_fs.a"
+  "libtcio_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcio_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcio_fs.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcio_mpi.dir/comm.cc.o"
+  "CMakeFiles/tcio_mpi.dir/comm.cc.o.d"
+  "CMakeFiles/tcio_mpi.dir/datatype.cc.o"
+  "CMakeFiles/tcio_mpi.dir/datatype.cc.o.d"
+  "CMakeFiles/tcio_mpi.dir/rma.cc.o"
+  "CMakeFiles/tcio_mpi.dir/rma.cc.o.d"
+  "CMakeFiles/tcio_mpi.dir/runtime.cc.o"
+  "CMakeFiles/tcio_mpi.dir/runtime.cc.o.d"
+  "libtcio_mpi.a"
+  "libtcio_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcio_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcio_mpiio.dir/file.cc.o"
+  "CMakeFiles/tcio_mpiio.dir/file.cc.o.d"
+  "CMakeFiles/tcio_mpiio.dir/twophase.cc.o"
+  "CMakeFiles/tcio_mpiio.dir/twophase.cc.o.d"
+  "CMakeFiles/tcio_mpiio.dir/view.cc.o"
+  "CMakeFiles/tcio_mpiio.dir/view.cc.o.d"
+  "CMakeFiles/tcio_mpiio.dir/viewbased.cc.o"
+  "CMakeFiles/tcio_mpiio.dir/viewbased.cc.o.d"
+  "libtcio_mpiio.a"
+  "libtcio_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcio_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcio_net.dir/network.cc.o"
+  "CMakeFiles/tcio_net.dir/network.cc.o.d"
+  "libtcio_net.a"
+  "libtcio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcio_sim.dir/engine.cc.o"
+  "CMakeFiles/tcio_sim.dir/engine.cc.o.d"
+  "libtcio_sim.a"
+  "libtcio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

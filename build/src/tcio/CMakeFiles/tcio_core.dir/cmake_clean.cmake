@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcio_core.dir/capi.cc.o"
+  "CMakeFiles/tcio_core.dir/capi.cc.o.d"
+  "CMakeFiles/tcio_core.dir/file.cc.o"
+  "CMakeFiles/tcio_core.dir/file.cc.o.d"
+  "libtcio_core.a"
+  "libtcio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

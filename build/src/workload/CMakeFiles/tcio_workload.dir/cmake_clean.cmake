@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcio_workload.dir/synthetic.cc.o"
+  "CMakeFiles/tcio_workload.dir/synthetic.cc.o.d"
+  "libtcio_workload.a"
+  "libtcio_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcio_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_art.dir/art/checkpoint_integrity_test.cc.o"
+  "CMakeFiles/test_art.dir/art/checkpoint_integrity_test.cc.o.d"
+  "CMakeFiles/test_art.dir/art/checkpoint_test.cc.o"
+  "CMakeFiles/test_art.dir/art/checkpoint_test.cc.o.d"
+  "CMakeFiles/test_art.dir/art/ftt_test.cc.o"
+  "CMakeFiles/test_art.dir/art/ftt_test.cc.o.d"
+  "test_art"
+  "test_art.pdb"
+  "test_art[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs.dir/fs/cache_test.cc.o"
+  "CMakeFiles/test_fs.dir/fs/cache_test.cc.o.d"
+  "CMakeFiles/test_fs.dir/fs/filesystem_test.cc.o"
+  "CMakeFiles/test_fs.dir/fs/filesystem_test.cc.o.d"
+  "CMakeFiles/test_fs.dir/fs/fs_pressure_test.cc.o"
+  "CMakeFiles/test_fs.dir/fs/fs_pressure_test.cc.o.d"
+  "CMakeFiles/test_fs.dir/fs/fs_property_test.cc.o"
+  "CMakeFiles/test_fs.dir/fs/fs_property_test.cc.o.d"
+  "CMakeFiles/test_fs.dir/fs/lock_manager_test.cc.o"
+  "CMakeFiles/test_fs.dir/fs/lock_manager_test.cc.o.d"
+  "CMakeFiles/test_fs.dir/fs/store_test.cc.o"
+  "CMakeFiles/test_fs.dir/fs/store_test.cc.o.d"
+  "test_fs"
+  "test_fs.pdb"
+  "test_fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

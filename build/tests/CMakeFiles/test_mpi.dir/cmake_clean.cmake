@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi.dir/mpi/accumulate_test.cc.o"
+  "CMakeFiles/test_mpi.dir/mpi/accumulate_test.cc.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/collectives2_test.cc.o"
+  "CMakeFiles/test_mpi.dir/mpi/collectives2_test.cc.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/collectives_test.cc.o"
+  "CMakeFiles/test_mpi.dir/mpi/collectives_test.cc.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/comm_split_test.cc.o"
+  "CMakeFiles/test_mpi.dir/mpi/comm_split_test.cc.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/datatype_fuzz_test.cc.o"
+  "CMakeFiles/test_mpi.dir/mpi/datatype_fuzz_test.cc.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/datatype_test.cc.o"
+  "CMakeFiles/test_mpi.dir/mpi/datatype_test.cc.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/p2p_test.cc.o"
+  "CMakeFiles/test_mpi.dir/mpi/p2p_test.cc.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/rma_test.cc.o"
+  "CMakeFiles/test_mpi.dir/mpi/rma_test.cc.o.d"
+  "test_mpi"
+  "test_mpi.pdb"
+  "test_mpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpiio.dir/mpiio/collective_buffering_test.cc.o"
+  "CMakeFiles/test_mpiio.dir/mpiio/collective_buffering_test.cc.o.d"
+  "CMakeFiles/test_mpiio.dir/mpiio/mpio_file_test.cc.o"
+  "CMakeFiles/test_mpiio.dir/mpiio/mpio_file_test.cc.o.d"
+  "CMakeFiles/test_mpiio.dir/mpiio/split_collective_test.cc.o"
+  "CMakeFiles/test_mpiio.dir/mpiio/split_collective_test.cc.o.d"
+  "CMakeFiles/test_mpiio.dir/mpiio/twophase_property_test.cc.o"
+  "CMakeFiles/test_mpiio.dir/mpiio/twophase_property_test.cc.o.d"
+  "CMakeFiles/test_mpiio.dir/mpiio/view_test.cc.o"
+  "CMakeFiles/test_mpiio.dir/mpiio/view_test.cc.o.d"
+  "CMakeFiles/test_mpiio.dir/mpiio/viewbased_test.cc.o"
+  "CMakeFiles/test_mpiio.dir/mpiio/viewbased_test.cc.o.d"
+  "test_mpiio"
+  "test_mpiio.pdb"
+  "test_mpiio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

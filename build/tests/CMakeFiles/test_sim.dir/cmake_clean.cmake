@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/determinism_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/determinism_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/engine_stress_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/engine_stress_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/engine_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/engine_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/timeline_duration_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/timeline_duration_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/timeline_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/timeline_test.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcio.dir/tcio/capi_test.cc.o"
+  "CMakeFiles/test_tcio.dir/tcio/capi_test.cc.o.d"
+  "CMakeFiles/test_tcio.dir/tcio/level1_test.cc.o"
+  "CMakeFiles/test_tcio.dir/tcio/level1_test.cc.o.d"
+  "CMakeFiles/test_tcio.dir/tcio/segment_map_test.cc.o"
+  "CMakeFiles/test_tcio.dir/tcio/segment_map_test.cc.o.d"
+  "CMakeFiles/test_tcio.dir/tcio/tcio_edge_test.cc.o"
+  "CMakeFiles/test_tcio.dir/tcio/tcio_edge_test.cc.o.d"
+  "CMakeFiles/test_tcio.dir/tcio/tcio_file_test.cc.o"
+  "CMakeFiles/test_tcio.dir/tcio/tcio_file_test.cc.o.d"
+  "CMakeFiles/test_tcio.dir/tcio/tcio_sweep_test.cc.o"
+  "CMakeFiles/test_tcio.dir/tcio/tcio_sweep_test.cc.o.d"
+  "test_tcio"
+  "test_tcio.pdb"
+  "test_tcio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Tier-1 test run under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Uses a separate build tree so the regular build/ stays fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-asan
+cmake -B "$BUILD" -S . -DTCIO_SANITIZE=ON >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" "$@"

@@ -199,6 +199,12 @@ Comm Comm::split(int color, int key) {
               base + color_index);
 }
 
+int Comm::nodeOf(Rank r) const {
+  return world_->network().nodeOf(worldRank(r));
+}
+
+Comm Comm::splitByNode(int key) { return split(nodeOf(rank_), key); }
+
 // -- Collectives --------------------------------------------------------------
 
 void Comm::barrier() {

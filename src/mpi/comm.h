@@ -56,6 +56,14 @@ class Comm {
   /// communicator must call it.
   Comm split(int color, int key);
 
+  /// Collective MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): ranks hosted on
+  /// the same physical node (per the network topology) form a new
+  /// communicator, ordered by (key, old rank).
+  Comm splitByNode(int key);
+
+  /// Physical node hosting communicator rank `r` (topology query, no cost).
+  int nodeOf(Rank r) const;
+
   // -- Point-to-point --------------------------------------------------------
 
   /// Blocking standard-mode send (buffered semantics: returns once the NIC

@@ -84,6 +84,8 @@ TransferTimes Network::transfer(SimTime t, Rank src, Rank dst, Bytes n,
 
   if (sn == dn) {
     // Intra-node: shared-memory transport over the node's memory bus.
+    ++intranode_messages_;
+    intranode_bytes_ += n;
     auto& bus = membus_[static_cast<std::size_t>(sn)];
     const SimTime done =
         bus.serve(t, n) + cfg_.intranode_latency + drawJitter();
@@ -96,9 +98,12 @@ TransferTimes Network::transfer(SimTime t, Rank src, Rank dst, Bytes n,
   // Control messages (lock requests/grants, barrier tokens) are CPU-side
   // sends of a few bytes: charge latency and noise but no DMA queueing.
   if (n == 0) {
+    ++internode_control_messages_;
     const SimTime delivered = t + cfg_.internode_latency + drawJitter();
     return {t, delivered};
   }
+  ++internode_payload_messages_;
+  internode_bytes_ += n;
 
   // Outstanding-transmit overflow serializes on the sender's NIC: a burst
   // to P peers pays it back to back, and the penalty grows with the queue.

@@ -119,6 +119,18 @@ class Network {
   // Statistics for benches and tests.
   std::int64_t messageCount() const { return messages_; }
   Bytes bytesMoved() const { return bytes_; }
+  /// Messages served by a node's memory bus (src and dst on the same node).
+  std::int64_t intranodeMessageCount() const { return intranode_messages_; }
+  Bytes intranodeBytes() const { return intranode_bytes_; }
+  /// Payload messages that crossed the NIC/fabric (n > 0, different nodes).
+  std::int64_t internodePayloadMessages() const {
+    return internode_payload_messages_;
+  }
+  /// Zero-byte control messages (lock grants, barrier tokens) across nodes.
+  std::int64_t internodeControlMessages() const {
+    return internode_control_messages_;
+  }
+  Bytes internodeBytes() const { return internode_bytes_; }
   std::int64_t connectionsEstablished() const {
     return static_cast<std::int64_t>(connections_.size());
   }
@@ -144,6 +156,11 @@ class Network {
   std::unordered_set<std::uint64_t> connections_;
   std::int64_t messages_ = 0;
   Bytes bytes_ = 0;
+  std::int64_t intranode_messages_ = 0;
+  Bytes intranode_bytes_ = 0;
+  std::int64_t internode_payload_messages_ = 0;
+  std::int64_t internode_control_messages_ = 0;
+  Bytes internode_bytes_ = 0;
 };
 
 }  // namespace tcio::net

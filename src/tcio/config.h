@@ -36,6 +36,18 @@ struct TcioConfig {
   /// the per-segment exclusive load epochs serialize all readers; explicit
   /// (collective) fetch() lets owners load their own segments in parallel.
   bool auto_fetch_on_segment_exit = false;
+
+  /// Topology-aware intra-node aggregation (src/topo/): level-1 flushes are
+  /// staged locally and shipped at collective points through per-node
+  /// leaders, so the NIC carries one coalesced epoch per (source node,
+  /// destination node) instead of one per (rank, destination rank). Requires
+  /// use_onesided && lazy_reads && !auto_fetch_on_segment_exit, because
+  /// staged data is only exchanged at collective calls.
+  bool node_aggregation = false;
+
+  /// Per-source-node partition of each leader's staging window. 0 = auto
+  /// (one full segment per node-local rank per round, plus header slack).
+  Bytes node_agg_slot_bytes = 0;
 };
 
 }  // namespace tcio::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <set>
 
 namespace tcio::core {
 
@@ -13,6 +14,11 @@ struct BlockMeta {
   Offset off = 0;
   Bytes len = 0;
 };
+
+void appendBytes(std::vector<std::byte>& out, const void* src, std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(src);
+  out.insert(out.end(), p, p + n);
+}
 }  // namespace
 
 File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
@@ -30,6 +36,12 @@ File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
   TCIO_CHECK_MSG(cfg_.use_onesided || cfg_.lazy_reads,
                  "two-sided exchange requires lazy reads (no independent "
                  "materialization path exists without one-sided access)");
+  TCIO_CHECK_MSG(!cfg_.node_aggregation ||
+                     (cfg_.use_onesided && cfg_.lazy_reads &&
+                      !cfg_.auto_fetch_on_segment_exit),
+                 "node aggregation stages data until the next collective "
+                 "call, so it requires one-sided mode with lazy reads and no "
+                 "independent auto-fetch");
   // Collective open: rank 0 creates/truncates, everyone else opens after.
   if (comm_->rank() == 0) {
     fsfile_ = client_.open(name_, flags_);
@@ -40,6 +52,15 @@ File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
   }
   window_ = std::make_unique<mpi::Window>(mpi::Window::create(
       *comm_, flags_region_ + cfg_.segments_per_rank * cfg_.segment_size));
+  if (cfg_.node_aggregation) {
+    node_map_ = std::make_unique<topo::NodeMap>(*comm_);
+    Bytes slot = cfg_.node_agg_slot_bytes;
+    if (slot == 0) {
+      slot = static_cast<Bytes>(node_map_->maxNodeSize()) * cfg_.segment_size +
+             4096;
+    }
+    node_agg_ = std::make_unique<topo::NodeAggregator>(*node_map_, slot);
+  }
   comm_->memory().allocate(cfg_.segment_size, "TCIO level-1 buffer");
   open_ = true;
 }
@@ -108,7 +129,7 @@ void File::flushLevel1() {
   const SegmentId seg = level1_.alignedSegment();
   const std::vector<Extent> extents = level1_.mergedExtents();
   const SimTime flush_begin = comm_->proc().now();
-  if (cfg_.use_onesided) {
+  if (cfg_.use_onesided && !cfg_.node_aggregation) {
     const Rank owner = map_.rankOf(seg);
     const std::int64_t slot = map_.slotOf(seg);
     std::vector<mpi::Window::PutBlock> blocks;
@@ -135,14 +156,21 @@ void File::flushLevel1() {
       });
     }
   } else {
-    // Two-sided ablation: stage locally until the next collective exchange.
+    // Two-sided ablation / node aggregation: stage locally until the next
+    // collective exchange.
     for (const Extent& e : extents) {
       staged_.emplace_back(
           map_.baseOf(seg) + e.begin,
           std::vector<std::byte>(level1_.data() + e.begin,
                                  level1_.data() + e.end));
       staged_bytes_ += e.size();
-      comm_->memory().allocate(e.size(), "TCIO two-sided staging");
+      comm_->memory().allocate(e.size(), "TCIO staged writes");
+    }
+    if (cfg_.node_aggregation &&
+        node_map_->nodeOf(map_.rankOf(seg)) != node_map_->myNode()) {
+      // The per-rank shuffle would have put one epoch for this flush on the
+      // NIC; the leader exchange replaces it.
+      ++stats_.internode_messages_saved;
     }
   }
   level1_.reset();
@@ -283,7 +311,9 @@ void File::gatherPending(std::vector<PendingRead>& reads) {
 void File::collectiveFetch() {
   ++stats_.collective_fetches;
   const SimTime fetch_begin = comm_->proc().now();
-  if (cfg_.use_onesided) {
+  if (cfg_.node_aggregation) {
+    nodeExchangeStagedWrites();
+  } else if (cfg_.use_onesided) {
     flushLevel1();
   } else {
     exchangeStagedWrites();
@@ -319,7 +349,9 @@ void File::collectiveFetch() {
     loaded = kFlagSet;
   }
   comm_->barrier();
-  if (cfg_.use_onesided) {
+  if (cfg_.node_aggregation) {
+    nodeAggregatedGather(pending_reads_);
+  } else if (cfg_.use_onesided) {
     gatherPending(pending_reads_);
   } else {
     // Two-sided reply exchange: ship requests to owners, owners answer from
@@ -426,7 +458,9 @@ void File::seek(Offset off, Whence whence) {
 
 void File::flush() {
   TCIO_CHECK_MSG(open_, "flush on closed TCIO file");
-  if (cfg_.use_onesided) {
+  if (cfg_.node_aggregation) {
+    nodeExchangeStagedWrites();
+  } else if (cfg_.use_onesided) {
     flushLevel1();
   } else {
     exchangeStagedWrites();
@@ -510,6 +544,262 @@ void File::exchangeStagedWrites() {
   staged_bytes_ = 0;
 }
 
+void File::nodeExchangeStagedWrites() {
+  flushLevel1();  // move any level-1 residue into the staging area
+  ++stats_.node_exchanges;
+  const int N = node_map_->numNodes();
+  // Stage records addressed to the *node* hosting each block's owner:
+  // [BlockMeta][payload] back to back.
+  std::vector<std::vector<std::byte>> per_node(static_cast<std::size_t>(N));
+  for (const auto& [off, bytes] : staged_) {
+    const auto dn = static_cast<std::size_t>(
+        node_map_->nodeOf(map_.rankOf(map_.segmentOf(off))));
+    const BlockMeta m{off, static_cast<Bytes>(bytes.size())};
+    appendBytes(per_node[dn], &m, sizeof(m));
+    appendBytes(per_node[dn], bytes.data(), bytes.size());
+  }
+  const std::int64_t puts_before = node_agg_->stats().internode_puts;
+  const Bytes membus_before = node_agg_->stats().intranode_bytes;
+  // Source-leader rewrite: merge adjacent same-segment extents contributed
+  // by the node's ranks into single records. On interleaved patterns the
+  // node's ranks own neighbouring stripes, so this collapses many tiny
+  // per-rank extents into few large ones before they pay the NIC.
+  const auto coalesce =
+      [this](int, const std::vector<topo::NodeAggregator::RankBlob>& blobs) {
+        struct Rec {
+          Offset off = 0;
+          Bytes len = 0;
+          const std::byte* src = nullptr;
+        };
+        std::vector<Rec> recs;
+        for (const auto& rb : blobs) {
+          std::size_t pos = 0;
+          while (pos < rb.data.size()) {
+            BlockMeta m;
+            TCIO_CHECK(pos + sizeof(m) <= rb.data.size());
+            std::memcpy(&m, rb.data.data() + pos, sizeof(m));
+            pos += sizeof(m);
+            TCIO_CHECK(pos + static_cast<std::size_t>(m.len) <=
+                       rb.data.size());
+            recs.push_back({m.off, m.len, rb.data.data() + pos});
+            pos += static_cast<std::size_t>(m.len);
+          }
+        }
+        std::stable_sort(recs.begin(), recs.end(),
+                         [](const Rec& a, const Rec& b) {
+                           return a.off < b.off;
+                         });
+        std::vector<std::byte> out;
+        out.reserve(recs.size() * sizeof(BlockMeta));
+        std::size_t i = 0;
+        while (i < recs.size()) {
+          // A merged run must stay inside one segment: its owner and slot
+          // are derived from the run's first offset at apply time.
+          std::size_t j = i + 1;
+          Bytes run = recs[i].len;
+          while (j < recs.size() &&
+                 recs[j].off == recs[j - 1].off + recs[j - 1].len &&
+                 map_.segmentOf(recs[j].off) == map_.segmentOf(recs[i].off)) {
+            run += recs[j].len;
+            ++j;
+          }
+          const BlockMeta m{recs[i].off, run};
+          appendBytes(out, &m, sizeof(m));
+          for (std::size_t k = i; k < j; ++k) {
+            appendBytes(out, recs[k].src, static_cast<std::size_t>(recs[k].len));
+          }
+          i = j;
+        }
+        return out;
+      };
+  const auto frames = node_agg_->exchange(per_node, coalesce);
+  // Destination leaders apply the received blocks into node-local owners'
+  // windows — membus epochs, one per owner.
+  if (node_map_->isLeader()) {
+    std::map<Rank, std::vector<mpi::Window::PutBlock>> by_owner;
+    std::map<Rank, std::set<std::int64_t>> flagged;
+    Bytes applied = 0;
+    for (const auto& from_node : frames) {
+      for (const auto& rb : from_node) {
+        std::size_t pos = 0;
+        while (pos < rb.data.size()) {
+          BlockMeta m;
+          TCIO_CHECK(pos + sizeof(m) <= rb.data.size());
+          std::memcpy(&m, rb.data.data() + pos, sizeof(m));
+          pos += sizeof(m);
+          TCIO_CHECK(pos + static_cast<std::size_t>(m.len) <= rb.data.size());
+          const SegmentId g = map_.segmentOf(m.off);
+          const Rank owner = map_.rankOf(g);
+          const std::int64_t slot = map_.slotOf(g);
+          auto& blocks = by_owner[owner];
+          if (flagged[owner].insert(slot).second) {
+            blocks.push_back({flagsDisp(slot, kDirtyFlag), &kFlagSet, 1});
+          }
+          blocks.push_back(
+              {dataDisp(slot, map_.dispOf(m.off)), rb.data.data() + pos,
+               m.len});
+          pos += static_cast<std::size_t>(m.len);
+          applied += m.len;
+        }
+      }
+    }
+    for (auto& [owner, blocks] : by_owner) {
+      window_->lock(mpi::LockType::kShared, owner);
+      window_->putIndexed(owner, blocks);
+      window_->unlock(owner);
+    }
+    stats_.intranode_bytes += applied;
+  }
+  // The apply epochs above must land before any rank inspects or drains its
+  // window (owner loads in collectiveFetch, drainToFs at close).
+  comm_->barrier();
+  stats_.internode_messages_saved -=
+      node_agg_->stats().internode_puts - puts_before;
+  stats_.intranode_bytes +=
+      node_agg_->stats().intranode_bytes - membus_before;
+  comm_->memory().release(staged_bytes_);
+  staged_.clear();
+  staged_bytes_ = 0;
+}
+
+void File::nodeAggregatedGather(std::vector<PendingRead>& reads) {
+  const int N = node_map_->numNodes();
+  const auto sn = static_cast<std::size_t>(N);
+  const Bytes membus_before = node_agg_->stats().intranode_bytes;
+  // Requests travel to the node hosting each block's owner. Replies come
+  // back in request order, so remember the order per serving node.
+  std::vector<std::vector<std::byte>> req(sn);
+  std::vector<std::vector<PendingRead*>> order(sn);
+  for (PendingRead& r : reads) {
+    const auto dn = static_cast<std::size_t>(
+        node_map_->nodeOf(map_.rankOf(map_.segmentOf(r.off))));
+    const BlockMeta m{r.off, r.len};
+    appendBytes(req[dn], &m, sizeof(m));
+    order[dn].push_back(&r);
+  }
+  const auto requests = node_agg_->exchange(req);
+  // Serving leaders answer from node-local owners' windows. Reply streams
+  // are framed per requester: [i32 requester][u64 len][bytes].
+  std::vector<std::vector<std::byte>> replies(sn);
+  if (node_map_->isLeader()) {
+    // Pass 1: lay out reply streams (headers + payload space) so the get
+    // blocks can point into stable storage.
+    struct Slice {
+      std::size_t node = 0;
+      std::size_t at = 0;  // payload start within replies[node]
+    };
+    std::vector<std::pair<BlockMeta, Slice>> wanted;
+    for (std::size_t s = 0; s < sn; ++s) {
+      for (const auto& rb : requests[s]) {
+        const std::size_t nb = rb.data.size() / sizeof(BlockMeta);
+        TCIO_CHECK(rb.data.size() == nb * sizeof(BlockMeta));
+        Bytes total = 0;
+        std::vector<BlockMeta> metas(nb);
+        for (std::size_t i = 0; i < nb; ++i) {
+          std::memcpy(&metas[i], rb.data.data() + i * sizeof(BlockMeta),
+                      sizeof(BlockMeta));
+          total += metas[i].len;
+        }
+        auto& stream = replies[s];
+        const std::int32_t requester = rb.src;
+        const auto len64 = static_cast<std::uint64_t>(total);
+        appendBytes(stream, &requester, sizeof(requester));
+        appendBytes(stream, &len64, sizeof(len64));
+        std::size_t at = stream.size();
+        stream.resize(stream.size() + static_cast<std::size_t>(total));
+        for (const BlockMeta& m : metas) {
+          wanted.push_back({m, {s, at}});
+          at += static_cast<std::size_t>(m.len);
+        }
+      }
+    }
+    // Pass 2: one shared-lock membus epoch per node-local owner.
+    std::map<Rank, std::vector<mpi::Window::GetBlock>> by_owner;
+    Bytes served = 0;
+    for (const auto& [m, slice] : wanted) {
+      const SegmentId g = map_.segmentOf(m.off);
+      by_owner[map_.rankOf(g)].push_back(
+          {dataDisp(map_.slotOf(g), map_.dispOf(m.off)),
+           replies[slice.node].data() + slice.at, m.len});
+      served += m.len;
+    }
+    for (auto& [owner, blocks] : by_owner) {
+      window_->lock(mpi::LockType::kShared, owner);
+      window_->getIndexed(owner, blocks);
+      window_->unlock(owner);
+    }
+    stats_.intranode_bytes += served;
+  }
+  const auto answers = node_agg_->exchange(replies);
+  // Leaders demux replies per requester; each fragment is wrapped
+  // [i32 serving node][u64 len][bytes] so the requester can route it to its
+  // per-node request list.
+  const std::vector<Rank>& members =
+      node_map_->ranksOnNode(node_map_->myNode());
+  std::vector<std::vector<std::byte>> per_rank(members.size());
+  if (node_map_->isLeader()) {
+    std::map<Rank, std::size_t> node_rank_of;
+    for (std::size_t q = 0; q < members.size(); ++q) {
+      node_rank_of[members[q]] = q;
+    }
+    for (std::size_t s = 0; s < sn; ++s) {
+      for (const auto& rb : answers[s]) {
+        std::size_t pos = 0;
+        while (pos < rb.data.size()) {
+          std::int32_t requester = 0;
+          std::uint64_t len = 0;
+          TCIO_CHECK(pos + sizeof(requester) + sizeof(len) <= rb.data.size());
+          std::memcpy(&requester, rb.data.data() + pos, sizeof(requester));
+          pos += sizeof(requester);
+          std::memcpy(&len, rb.data.data() + pos, sizeof(len));
+          pos += sizeof(len);
+          TCIO_CHECK(pos + len <= rb.data.size());
+          auto& blob = per_rank[node_rank_of.at(requester)];
+          const auto sn32 = static_cast<std::int32_t>(s);
+          appendBytes(blob, &sn32, sizeof(sn32));
+          appendBytes(blob, &len, sizeof(len));
+          appendBytes(blob, rb.data.data() + pos, static_cast<std::size_t>(len));
+          pos += static_cast<std::size_t>(len);
+        }
+      }
+    }
+  }
+  const std::vector<std::byte> mine =
+      node_agg_->scatterToRanks(std::move(per_rank));
+  // Route each serving node's answer bytes to the recorded reads in order.
+  std::size_t pos = 0;
+  std::vector<std::size_t> next(sn, 0);
+  while (pos < mine.size()) {
+    std::int32_t serving = 0;
+    std::uint64_t len = 0;
+    TCIO_CHECK(pos + sizeof(serving) + sizeof(len) <= mine.size());
+    std::memcpy(&serving, mine.data() + pos, sizeof(serving));
+    pos += sizeof(serving);
+    std::memcpy(&len, mine.data() + pos, sizeof(len));
+    pos += sizeof(len);
+    TCIO_CHECK(pos + len <= mine.size());
+    const auto s = static_cast<std::size_t>(serving);
+    std::uint64_t used = 0;
+    while (used < len) {
+      TCIO_CHECK_MSG(next[s] < order[s].size(),
+                     "node-aggregated reply exceeds recorded reads");
+      PendingRead* r = order[s][next[s]++];
+      TCIO_CHECK(used + static_cast<std::uint64_t>(r->len) <= len);
+      std::memcpy(r->dst, mine.data() + pos + used,
+                  static_cast<std::size_t>(r->len));
+      used += static_cast<std::uint64_t>(r->len);
+    }
+    pos += static_cast<std::size_t>(len);
+    comm_->chargeCopy(static_cast<Bytes>(len));
+  }
+  for (std::size_t s = 0; s < sn; ++s) {
+    TCIO_CHECK_MSG(next[s] == order[s].size(),
+                   "node-aggregated gather left reads unanswered");
+  }
+  stats_.intranode_bytes +=
+      node_agg_->stats().intranode_bytes - membus_before;
+}
+
 void File::close() {
   if (!open_) return;
   // Mark closed up front: if any step below throws, the destructor must not
@@ -519,7 +809,9 @@ void File::close() {
   if ((flags_ & fs::kRead) != 0) {
     collectiveFetch();  // resolve any pending lazy reads
   }
-  if (cfg_.use_onesided) {
+  if (cfg_.node_aggregation) {
+    nodeExchangeStagedWrites();
+  } else if (cfg_.use_onesided) {
     flushLevel1();
   } else {
     exchangeStagedWrites();
@@ -528,15 +820,33 @@ void File::close() {
   std::int64_t fsize = std::max(local_max_written_, client_.size(fsfile_));
   comm_->allreduce(&fsize, 1, mpi::ReduceOp::kMax);
   comm_->barrier();  // paper: synchronize before draining level-2
+  // Drain under collective error agreement: a rank whose file-system writes
+  // fail must not leave its peers blocked in the closing collectives, and a
+  // rank whose own writes succeeded must still learn the file is damaged.
+  std::uint8_t failed = 0;
+  std::string fault;
   if ((flags_ & fs::kWrite) != 0) {
-    drainToFs(fsize);
+    try {
+      drainToFs(fsize);
+    } catch (const FsError& e) {
+      failed = 1;
+      fault = e.what();
+    }
   }
+  comm_->allreduce(&failed, 1, mpi::ReduceOp::kMax);
   comm_->barrier();
   client_.close(fsfile_);
+  if (node_agg_ != nullptr) node_agg_->close();
   comm_->memory().release(cfg_.segment_size);  // level-1 buffer
   comm_->memory().release(window_->localSize());
   window_.reset();
   open_ = false;
+  if (failed != 0) {
+    throw FsError(fault.empty()
+                      ? "tcio close: a peer rank failed writing level-2 "
+                        "data back to the file system"
+                      : fault);
+  }
 }
 
 void File::drainToFs(Bytes file_size) {

@@ -34,6 +34,8 @@
 #include "tcio/config.h"
 #include "tcio/level1.h"
 #include "tcio/segment_map.h"
+#include "topo/node_aggregator.h"
+#include "topo/node_map.h"
 
 namespace tcio::core {
 
@@ -49,6 +51,15 @@ struct TcioStats {
   std::int64_t independent_fetches = 0;
   Bytes bytes_written = 0;
   Bytes bytes_read = 0;
+  // Node-aggregation counters (all zero unless TcioConfig::node_aggregation).
+  std::int64_t node_exchanges = 0;  // collective leader exchanges performed
+  /// Aggregation bytes this rank funneled over the intra-node memory bus as
+  /// its node's leader (gather + scatter + window applies; leaders only).
+  Bytes intranode_bytes = 0;
+  /// Net NIC epochs removed by aggregation: epochs the per-rank shuffle
+  /// would have issued to remote nodes, minus leader epochs actually
+  /// issued. Meaningful summed across ranks; may be negative on leaders.
+  std::int64_t internode_messages_saved = 0;
 };
 
 /// One rank's handle on a shared TCIO file. Open/flush/fetch/close are
@@ -140,6 +151,16 @@ class File {
   /// Two-sided ablation: exchange staged writes via alltoallv (collective).
   void exchangeStagedWrites();
 
+  /// Node-aggregation write path (collective): staged writes funnel through
+  /// node leaders; destination leaders apply them into node-local owners'
+  /// windows over the memory bus.
+  void nodeExchangeStagedWrites();
+
+  /// Node-aggregation read path (collective): pending-read requests and
+  /// replies travel leader-to-leader; assumes the owner-load phase of
+  /// collectiveFetch() made every needed segment resident.
+  void nodeAggregatedGather(std::vector<PendingRead>& reads);
+
   /// Ensures the segment holding `off`..`off+n` is resident in its owner's
   /// window (independent path; reader loads from FS if needed).
   void ensureLoadedIndependent(SegmentId seg);
@@ -156,6 +177,8 @@ class File {
   SegmentMap map_;
   Bytes flags_region_;
   std::unique_ptr<mpi::Window> window_;
+  std::unique_ptr<topo::NodeMap> node_map_;
+  std::unique_ptr<topo::NodeAggregator> node_agg_;
   Level1Buffer level1_;
   std::vector<PendingRead> pending_reads_;
   SegmentId pending_segment_ = -1;  // lazy-read segment group

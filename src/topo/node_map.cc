@@ -1,0 +1,42 @@
+#include "topo/node_map.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace tcio::topo {
+
+NodeMap::NodeMap(mpi::Comm& comm)
+    : comm_(&comm), node_comm_(comm.splitByNode(/*key=*/0)) {
+  const int P = comm.size();
+  node_of_.resize(static_cast<std::size_t>(P));
+  // Physical node ids can be sparse over a sub-communicator; compress them
+  // to dense indices ordered by each node's lowest communicator rank.
+  std::vector<int> phys(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    phys[static_cast<std::size_t>(r)] = comm.nodeOf(r);
+  }
+  std::vector<int> seen;  // physical id -> dense index by first appearance
+  for (Rank r = 0; r < P; ++r) {
+    const int p = phys[static_cast<std::size_t>(r)];
+    auto it = std::find(seen.begin(), seen.end(), p);
+    if (it == seen.end()) {
+      seen.push_back(p);
+      it = seen.end() - 1;
+    }
+    const int dense = static_cast<int>(it - seen.begin());
+    node_of_[static_cast<std::size_t>(r)] = dense;
+    if (dense == static_cast<int>(ranks_on_node_.size())) {
+      ranks_on_node_.emplace_back();
+    }
+    ranks_on_node_[static_cast<std::size_t>(dense)].push_back(r);
+  }
+  my_node_ = node_of_[static_cast<std::size_t>(comm.rank())];
+  for (const auto& ranks : ranks_on_node_) {
+    max_node_size_ = std::max(max_node_size_, static_cast<int>(ranks.size()));
+  }
+  TCIO_CHECK(node_comm_.size() ==
+             static_cast<int>(ranksOnNode(my_node_).size()));
+}
+
+}  // namespace tcio::topo

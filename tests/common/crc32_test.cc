@@ -10,7 +10,7 @@ namespace {
 
 std::vector<std::byte> bytesOf(const char* s) {
   std::vector<std::byte> out(std::strlen(s));
-  std::memcpy(out.data(), s, out.size());
+  if (!out.empty()) std::memcpy(out.data(), s, out.size());
   return out;
 }
 

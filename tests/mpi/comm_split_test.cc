@@ -33,6 +33,19 @@ TEST(CommSplitTest, KeyReversesOrder) {
   });
 }
 
+TEST(CommSplitTest, SplitByNodeGroupsRanksSharingANode) {
+  JobConfig c = cfg(8);
+  c.net.ranks_per_node = 3;  // nodes {0,1,2} {3,4,5} {6,7}
+  runJob(c, [](Comm& world) {
+    Comm sub = world.splitByNode(world.rank());
+    const int node = world.rank() / 3;
+    EXPECT_EQ(world.nodeOf(world.rank()), node);
+    EXPECT_EQ(sub.size(), node == 2 ? 2 : 3);
+    EXPECT_EQ(sub.rank(), world.rank() % 3);
+    EXPECT_EQ(sub.worldRank(0), node * 3);  // lowest rank of the node
+  });
+}
+
 TEST(CommSplitTest, MessagingStaysInsideSubcommunicator) {
   runJob(cfg(4), [](Comm& world) {
     Comm sub = world.split(world.rank() % 2, world.rank());

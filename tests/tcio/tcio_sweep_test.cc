@@ -1,12 +1,14 @@
 // Parameterized property sweep: TCIO must produce byte-identical files to a
 // sequential reference model across process counts, segment sizes, exchange
-// modes, and access patterns.
+// modes (one-sided / two-sided / node-aggregated), read laziness, and access
+// patterns.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <tuple>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/rng.h"
 #include "mpi/runtime.h"
 #include "tcio/file.h"
@@ -21,6 +23,8 @@ struct SweepParam {
   Bytes segment;
   bool onesided;
   Pattern pattern;
+  bool lazy = true;
+  bool node_agg = false;
 };
 
 std::string paramName(const ::testing::TestParamInfo<SweepParam>& info) {
@@ -33,7 +37,8 @@ std::string paramName(const ::testing::TestParamInfo<SweepParam>& info) {
   }
   return "P" + std::to_string(info.param.procs) + "_seg" +
          std::to_string(info.param.segment) + (info.param.onesided ? "_1s" : "_2s") +
-         "_" + pat;
+         "_" + pat + (info.param.lazy ? "" : "_eager") +
+         (info.param.node_agg ? "_nodeagg" : "");
 }
 
 /// One write operation: (absolute offset, length, owning rank).
@@ -108,7 +113,16 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{16, 256, true, Pattern::kStrided},
         SweepParam{4, 256, false, Pattern::kInterleaved},
         SweepParam{8, 512, false, Pattern::kRandomDisjoint},
-        SweepParam{16, 256, false, Pattern::kStrided}),
+        SweepParam{16, 256, false, Pattern::kStrided},
+        // Eager-read ablation (requires one-sided independent fetch).
+        SweepParam{4, 256, true, Pattern::kInterleaved, /*lazy=*/false},
+        SweepParam{8, 512, true, Pattern::kBlocks, /*lazy=*/false},
+        // Node aggregation (one-sided + lazy; 4 ranks/node in this sweep).
+        SweepParam{8, 256, true, Pattern::kInterleaved, true, /*agg=*/true},
+        SweepParam{8, 256, true, Pattern::kStrided, true, /*agg=*/true},
+        SweepParam{16, 512, true, Pattern::kInterleaved, true, /*agg=*/true},
+        SweepParam{6, 333, true, Pattern::kRandomDisjoint, true, /*agg=*/true},
+        SweepParam{4, 128, true, Pattern::kBlocks, true, /*agg=*/true}),
     paramName);
 
 TEST_P(TcioSweepTest, FileMatchesReferenceAndReadsBack) {
@@ -134,12 +148,15 @@ TEST_P(TcioSweepTest, FileMatchesReferenceAndReadsBack) {
   fs::Filesystem fsys(fcfg);
   mpi::JobConfig jc;
   jc.num_ranks = p.procs;
+  jc.net.ranks_per_node = 4;  // multi-node topology for the node-agg rows
   mpi::runJob(jc, [&](mpi::Comm& comm) {
     TcioConfig cfg;
     cfg.segment_size = p.segment;
     cfg.segments_per_rank =
         (total + p.segment * p.procs - 1) / (p.segment * p.procs) + 1;
     cfg.use_onesided = p.onesided;
+    cfg.lazy_reads = p.lazy;
+    cfg.node_aggregation = p.node_agg;
     {
       File f(comm, fsys, "sweep.dat", fs::kWrite | fs::kCreate, cfg);
       std::vector<std::byte> buf;
@@ -180,6 +197,11 @@ TEST_P(TcioSweepTest, FileMatchesReferenceAndReadsBack) {
               reference[static_cast<std::size_t>(i)])
         << "file mismatch at " << i;
   }
+  // Whole-file checksum: byte-identical regardless of exchange mode.
+  ASSERT_EQ(crc32(contents),
+            crc32(std::span<const std::byte>(reference.data(),
+                                             static_cast<std::size_t>(
+                                                 written_max))));
 }
 
 }  // namespace

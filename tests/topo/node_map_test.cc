@@ -1,0 +1,143 @@
+// NodeMap topology derivation and NodeAggregator leader-exchange tests.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "mpi/runtime.h"
+#include "topo/node_aggregator.h"
+#include "topo/node_map.h"
+
+namespace tcio::topo {
+namespace {
+
+mpi::JobConfig cfg(int procs, int ranks_per_node) {
+  mpi::JobConfig c;
+  c.num_ranks = procs;
+  c.net.ranks_per_node = ranks_per_node;
+  return c;
+}
+
+/// Deterministic payload byte for (source rank, destination node, index).
+std::byte pattern(Rank src, int dst, std::size_t i) {
+  return static_cast<std::byte>(
+      (static_cast<std::size_t>(src) * 131 + static_cast<std::size_t>(dst) * 17 +
+       i * 3) %
+      251);
+}
+
+std::vector<std::byte> payloadFor(Rank src, int dst, std::size_t len) {
+  std::vector<std::byte> v(len);
+  for (std::size_t i = 0; i < len; ++i) v[i] = pattern(src, dst, i);
+  return v;
+}
+
+TEST(NodeMapTest, MatchesNetworkTopology) {
+  runJob(cfg(8, 3), [](mpi::Comm& comm) {
+    NodeMap map(comm);
+    // 8 ranks at 3/node -> nodes {0,1,2} {3,4,5} {6,7}.
+    EXPECT_EQ(map.numNodes(), 3);
+    EXPECT_EQ(map.myNode(), comm.rank() / 3);
+    EXPECT_EQ(map.maxNodeSize(), 3);
+    for (Rank r = 0; r < comm.size(); ++r) {
+      EXPECT_EQ(map.nodeOf(r), r / 3);
+    }
+    EXPECT_EQ(map.leaderOf(0), 0);
+    EXPECT_EQ(map.leaderOf(1), 3);
+    EXPECT_EQ(map.leaderOf(2), 6);
+    EXPECT_EQ(map.isLeader(), comm.rank() % 3 == 0);
+    const std::vector<Rank>& mine = map.ranksOnNode(map.myNode());
+    EXPECT_EQ(static_cast<int>(mine.size()), map.nodeSize());
+    EXPECT_EQ(map.nodeComm().size(), comm.rank() < 6 ? 3 : 2);
+    EXPECT_EQ(map.nodeRank(), comm.rank() % 3);
+    EXPECT_EQ(mine[static_cast<std::size_t>(map.nodeRank())], comm.rank());
+  });
+}
+
+TEST(NodeMapTest, SingleNodeDegeneratesToOneGroup) {
+  runJob(cfg(4, 12), [](mpi::Comm& comm) {
+    NodeMap map(comm);
+    EXPECT_EQ(map.numNodes(), 1);
+    EXPECT_EQ(map.myNode(), 0);
+    EXPECT_EQ(map.leaderOf(0), 0);
+    EXPECT_EQ(map.nodeComm().size(), comm.size());
+  });
+}
+
+TEST(NodeAggregatorTest, ExchangeRoutesFramesBetweenLeaders) {
+  runJob(cfg(6, 2), [](mpi::Comm& comm) {
+    NodeMap map(comm);
+    ASSERT_EQ(map.numNodes(), 3);
+    NodeAggregator agg(map, /*slot_bytes=*/4096);
+    // Every rank addresses a distinct-length payload to every node.
+    std::vector<std::vector<std::byte>> per_node;
+    for (int d = 0; d < map.numNodes(); ++d) {
+      per_node.push_back(payloadFor(
+          comm.rank(), d, 16 + static_cast<std::size_t>(comm.rank()) * 8 +
+                              static_cast<std::size_t>(d)));
+    }
+    const auto frames = agg.exchange(per_node);
+    ASSERT_EQ(static_cast<int>(frames.size()), map.numNodes());
+    if (!map.isLeader()) {
+      for (const auto& fs : frames) EXPECT_TRUE(fs.empty());
+      return;
+    }
+    // Leader of node d holds, per source node s, one frame per rank of s in
+    // ascending rank order, with the payload that rank addressed to d.
+    const int d = map.myNode();
+    for (int s = 0; s < map.numNodes(); ++s) {
+      const std::vector<Rank>& srcs = map.ranksOnNode(s);
+      ASSERT_EQ(frames[static_cast<std::size_t>(s)].size(), srcs.size());
+      for (std::size_t q = 0; q < srcs.size(); ++q) {
+        const auto& fb = frames[static_cast<std::size_t>(s)][q];
+        EXPECT_EQ(fb.src, srcs[q]);
+        EXPECT_EQ(fb.data,
+                  payloadFor(srcs[q], d,
+                             16 + static_cast<std::size_t>(srcs[q]) * 8 +
+                                 static_cast<std::size_t>(d)));
+      }
+    }
+  });
+}
+
+TEST(NodeAggregatorTest, PayloadsLargerThanSlotTakeMultipleRounds) {
+  runJob(cfg(4, 2), [](mpi::Comm& comm) {
+    NodeMap map(comm);
+    // Tiny slots force chunked staging rounds.
+    NodeAggregator agg(map, /*slot_bytes=*/64);
+    std::vector<std::vector<std::byte>> per_node(
+        static_cast<std::size_t>(map.numNodes()));
+    const int other = 1 - map.myNode();
+    per_node[static_cast<std::size_t>(other)] =
+        payloadFor(comm.rank(), other, 1000);
+    const auto frames = agg.exchange(per_node);
+    if (map.isLeader()) {
+      EXPECT_GT(agg.stats().rounds, 1);
+      const auto& from_other = frames[static_cast<std::size_t>(other)];
+      ASSERT_EQ(from_other.size(), 2u);  // both ranks of the other node
+      for (const auto& fb : from_other) {
+        EXPECT_EQ(fb.data, payloadFor(fb.src, map.myNode(), 1000));
+      }
+    }
+  });
+}
+
+TEST(NodeAggregatorTest, ScatterToRanksDeliversPerRankBlobs) {
+  runJob(cfg(6, 3), [](mpi::Comm& comm) {
+    NodeMap map(comm);
+    NodeAggregator agg(map, /*slot_bytes=*/1024);
+    std::vector<std::vector<std::byte>> per_rank;
+    if (map.isLeader()) {
+      for (int q = 0; q < map.nodeSize(); ++q) {
+        const Rank target = map.ranksOnNode(map.myNode())[
+            static_cast<std::size_t>(q)];
+        per_rank.push_back(payloadFor(target, map.myNode(), 40));
+      }
+    }
+    const std::vector<std::byte> mine = agg.scatterToRanks(std::move(per_rank));
+    EXPECT_EQ(mine, payloadFor(comm.rank(), map.myNode(), 40));
+  });
+}
+
+}  // namespace
+}  // namespace tcio::topo

@@ -1,0 +1,39 @@
+#!/bin/bash
+# Fault-schedule soak: runs the cross-layer fault matrix across many fault
+# seeds. Every schedule must converge (same outcome on every rank, byte-
+# identical completions) — a hang on any seed is a collective-agreement bug,
+# so each ctest invocation runs under a wall-clock timeout and a timeout is
+# reported as HANG, not lumped in with assertion failures.
+#
+#   TCIO_FAULT_SEEDS    number of seeds to sweep (default 20)
+#   TCIO_SOAK_TIMEOUT   per-seed wall-clock limit in seconds (default 300)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS=${TCIO_FAULT_SEEDS:-20}
+LIMIT=${TCIO_SOAK_TIMEOUT:-300}
+BUILD=${TCIO_SOAK_BUILD:-build}
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target test_tcio
+
+fails=0
+hangs=0
+for ((seed = 1; seed <= SEEDS; seed++)); do
+  rc=0
+  TCIO_FAULT_SEED=$seed timeout "$LIMIT" \
+    ctest --test-dir "$BUILD" --output-on-failure -R 'TcioFaultMatrix' \
+    >"/tmp/fault_soak_$seed.log" 2>&1 || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "seed $seed: PASS"
+  elif [ "$rc" -eq 124 ]; then
+    hangs=$((hangs + 1))
+    echo "seed $seed: HANG (exceeded ${LIMIT}s — suspected lost collective agreement)"
+  else
+    fails=$((fails + 1))
+    echo "seed $seed: FAIL (see /tmp/fault_soak_$seed.log)"
+  fi
+done
+
+echo "fault soak: $SEEDS seeds, $fails failures, $hangs hangs"
+[ "$fails" -eq 0 ] && [ "$hangs" -eq 0 ]

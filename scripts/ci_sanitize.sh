@@ -9,3 +9,11 @@ cmake -B "$BUILD" -S . -DTCIO_SANITIZE=ON >/dev/null
 cmake --build "$BUILD" -j "$(nproc)"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" "$@"
+
+# The fault matrix exercises the error-recovery paths (retry loops, chunk
+# remapping, collective agreement, two-sided fallback) that the healthy
+# tier-1 run never enters; run it explicitly so a leak or UB in a catch
+# block cannot hide behind the happy path.
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+  -R 'TcioFault|FaultPlan'

@@ -39,6 +39,47 @@ class FsError : public Error {
   using Error::Error;
 };
 
+/// Open of a nonexistent file without kCreate (ENOENT). Carries the path so
+/// callers can report which file was missing without parsing the message.
+class FileNotFound : public FsError {
+ public:
+  explicit FileNotFound(const std::string& p)
+      : FsError("open: no such file: " + p), path(p) {}
+
+  /// Tag for rebuilding from an already-formatted message (collective error
+  /// agreement transports only the message, not the path).
+  struct Formatted {};
+  FileNotFound(Formatted, const std::string& what) : FsError(what) {}
+
+  std::string path;
+};
+
+/// EIO-like transient OST failure (media hiccup, dropped RPC). Retrying the
+/// request is expected to succeed; FsClient's RetryPolicy absorbs these.
+class TransientFsError : public FsError {
+ public:
+  using FsError::FsError;
+};
+
+/// ENOSPC-like failure: the OST rejected a write for lack of space. Permanent
+/// for the purposes of retry — surfacing it to the application is the only
+/// correct move.
+class NoSpaceError : public FsError {
+ public:
+  using FsError::FsError;
+};
+
+/// An OST failed permanently (dead server / unreachable failover pair).
+/// Requests routed to it keep failing until the affected chunks are remapped
+/// to surviving OSTs (degraded mode).
+class OstFailedError : public FsError {
+ public:
+  OstFailedError(const std::string& what, int failed_ost)
+      : FsError(what), ost(failed_ost) {}
+
+  int ost;
+};
+
 /// Misuse of the simulated MPI layer (rank out of range, uncommitted
 /// datatype, window access outside bounds, ...).
 class MpiError : public Error {

@@ -1,0 +1,46 @@
+#include "common/fault.h"
+
+#include "common/error.h"
+
+namespace tcio {
+
+FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint64_t salt)
+    : cfg_(cfg), rng_(cfg.seed ^ salt) {
+  TCIO_CHECK(cfg_.fs_transient_write_rate >= 0 &&
+             cfg_.fs_transient_write_rate <= 1);
+  TCIO_CHECK(cfg_.fs_transient_read_rate >= 0 &&
+             cfg_.fs_transient_read_rate <= 1);
+  TCIO_CHECK(cfg_.fs_no_space_rate >= 0 && cfg_.fs_no_space_rate <= 1);
+  TCIO_CHECK(cfg_.rma_drop_rate >= 0 && cfg_.rma_drop_rate <= 1);
+  TCIO_CHECK(cfg_.rma_drop_delay >= 0);
+}
+
+FaultPlan::FsOutcome FaultPlan::nextFsRequest(FsVerb verb, int ost,
+                                              SimTime t) {
+  ++fs_requests_;
+  // Permanent failure dominates: a dead OST serves nothing, rates included.
+  if (ostFailed(ost)) return FsOutcome::kOstFailed;
+  if (t < cfg_.active_after) return FsOutcome::kNone;
+  if (verb == FsVerb::kWrite && cfg_.fs_no_space_rate > 0 &&
+      rng_.uniform() < cfg_.fs_no_space_rate) {
+    ++no_space_;
+    return FsOutcome::kNoSpace;
+  }
+  const double rate = verb == FsVerb::kWrite ? cfg_.fs_transient_write_rate
+                                             : cfg_.fs_transient_read_rate;
+  if (rate > 0 && fs_requests_ > cfg_.fs_transient_after_requests &&
+      rng_.uniform() < rate) {
+    ++transients_;
+    return FsOutcome::kTransient;
+  }
+  return FsOutcome::kNone;
+}
+
+SimTime FaultPlan::nextRmaPayload() {
+  if (cfg_.rma_drop_rate <= 0) return 0;
+  if (rng_.uniform() >= cfg_.rma_drop_rate) return 0;
+  ++rma_drops_;
+  return cfg_.rma_drop_delay;
+}
+
+}  // namespace tcio

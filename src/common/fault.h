@@ -1,0 +1,160 @@
+// Deterministic cross-layer fault injection.
+//
+// A `FaultPlan` is the single source of truth for every injected failure in a
+// simulated job: transient and permanent file-system faults, straggling OSTs,
+// and dropped RMA payloads. The plan draws from its own seeded xoshiro stream
+// and is only ever consulted inside Proc::atomic() sections, so all fault
+// decisions happen in global virtual-time order — two runs with the same
+// `FaultConfig` inject byte-identical fault schedules, which the fault-matrix
+// determinism tests rely on.
+//
+// The plan *schedules* faults; it never throws. Layers consult it and raise
+// the matching typed error (`TransientFsError`, `NoSpaceError`,
+// `OstFailedError` — see common/error.h); recovery (client retry, collective
+// error agreement, degraded-mode remapping) lives above, in src/fs and
+// src/tcio.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace tcio {
+
+/// What faults to inject, and when. All rates are per-request probabilities
+/// in [0, 1]; counters/times gate when a fault class becomes active.
+struct FaultConfig {
+  /// Master switch consulted by the layers that auto-install plans
+  /// (core::File installs `TcioConfig::faults` into the shared Filesystem
+  /// only when enabled; net::Network likewise).
+  bool enabled = false;
+  /// Seed of the plan's RNG stream. Layers holding separate plans (the
+  /// Filesystem and the Network) salt it so their streams are independent.
+  std::uint64_t seed = 1;
+
+  // -- File-system layer ------------------------------------------------------
+  /// Probability that one OST write/read request fails with an EIO-like
+  /// `TransientFsError` (the request can be retried and will then succeed,
+  /// unless it is unlucky again).
+  double fs_transient_write_rate = 0.0;
+  double fs_transient_read_rate = 0.0;
+  /// OST requests to serve before transient faults may fire.
+  std::int64_t fs_transient_after_requests = 0;
+  /// Simulated time before any fault class may fire.
+  SimTime active_after = 0.0;
+  /// Probability that one OST write request fails with an ENOSPC-like
+  /// `NoSpaceError` (permanent: retry does not absorb it).
+  double fs_no_space_rate = 0.0;
+
+  /// Permanent OST failure: after `fail_ost_after_requests` total OST
+  /// requests, OST `fail_ost` stops serving — every request routed to it
+  /// throws `OstFailedError` until the affected chunks are remapped to
+  /// surviving OSTs (Filesystem::remapChunks). -1 disables.
+  int fail_ost = -1;
+  std::int64_t fail_ost_after_requests = 0;
+
+  /// Straggler OST: service durations on `straggler_ost` are multiplied by
+  /// `straggler_multiplier` (a slow disk / degraded RAID path, not an
+  /// error). <= 1 or -1 disables.
+  int straggler_ost = -1;
+  double straggler_multiplier = 1.0;
+
+  // -- Network / RMA layer ----------------------------------------------------
+  /// Probability that one RMA payload (put payload / get reply) is dropped
+  /// by the fabric and hardware-retransmitted after `rma_drop_delay`.
+  /// Faulted transfers still complete — later, and counted — so one-sided
+  /// code keeps working but degrades; TCIO can fall back to two-sided
+  /// staging when drops pass `TcioConfig::rma_fault_fallback_threshold`.
+  double rma_drop_rate = 0.0;
+  SimTime rma_drop_delay = 200.0e-6;
+};
+
+/// Bounded exponential backoff for absorbing transient faults, advanced in
+/// *simulated* time by the retrying client. `max_attempts == 1` disables
+/// retry entirely (the default: faults surface unless a caller opts in).
+struct RetryPolicy {
+  int max_attempts = 1;
+  SimTime base_backoff = 1.0e-3;
+  double backoff_multiplier = 2.0;
+  SimTime max_backoff = 64.0e-3;
+  /// Backoff is multiplied by a factor drawn uniformly from
+  /// [1 - jitter_fraction/2, 1 + jitter_fraction/2] out of a seeded stream.
+  double jitter_fraction = 0.5;
+};
+
+/// Seeded, deterministic fault schedule. One instance per consulting layer;
+/// must only be consulted inside atomic sections (virtual-time order).
+class FaultPlan {
+ public:
+  /// Salt values for per-layer RNG stream separation.
+  static constexpr std::uint64_t kFsSalt = 0x66735f6c61796572ULL;   // "fs_layer"
+  static constexpr std::uint64_t kNetSalt = 0x6e65745f6c617965ULL;  // "net_laye"
+
+  explicit FaultPlan(const FaultConfig& cfg, std::uint64_t salt = kFsSalt);
+
+  const FaultConfig& config() const { return cfg_; }
+
+  // -- File-system hooks ------------------------------------------------------
+
+  enum class FsVerb { kWrite, kRead };
+  enum class FsOutcome { kNone, kTransient, kNoSpace, kOstFailed };
+
+  /// Called once per OST request (in virtual-time order); advances the
+  /// request counter, draws the scheduled fault for this request, and
+  /// reports what the OST does. `kOstFailed` is sticky per failed OST;
+  /// the others are one-request events.
+  FsOutcome nextFsRequest(FsVerb verb, int ost, SimTime t);
+
+  /// True once `ost` has permanently failed (request counter crossed the
+  /// configured threshold).
+  bool ostFailed(int ost) const {
+    return cfg_.fail_ost >= 0 && ost == cfg_.fail_ost &&
+           fs_requests_ >= cfg_.fail_ost_after_requests;
+  }
+
+  /// Service-duration multiplier for `ost` (straggler model; 1.0 = nominal).
+  double serviceMultiplier(int ost) const {
+    return (cfg_.straggler_ost >= 0 && ost == cfg_.straggler_ost &&
+            cfg_.straggler_multiplier > 1.0)
+               ? cfg_.straggler_multiplier
+               : 1.0;
+  }
+
+  // -- Legacy one-shot shim (Filesystem::injectWriteFault) --------------------
+
+  /// Schedules exactly one transient fault on the N-th subsequent write
+  /// *call* (not OST request), preserving the pre-FaultPlan injector's
+  /// contract.
+  void scheduleOneShotWrite(std::int64_t after_calls) {
+    one_shot_write_in_ = after_calls;
+  }
+  /// Consumed once per Filesystem::write call; true when this call faults.
+  bool consumeOneShotWrite() {
+    return one_shot_write_in_ >= 0 && one_shot_write_in_-- == 0;
+  }
+
+  // -- Network hooks ----------------------------------------------------------
+
+  /// Called once per RMA payload message; returns the extra retransmit
+  /// delay (0 when the payload goes through cleanly).
+  SimTime nextRmaPayload();
+
+  // -- Counters (tests, stats) ------------------------------------------------
+
+  std::int64_t fsRequestsSeen() const { return fs_requests_; }
+  std::int64_t transientFaultsInjected() const { return transients_; }
+  std::int64_t noSpaceFaultsInjected() const { return no_space_; }
+  std::int64_t rmaDropsInjected() const { return rma_drops_; }
+
+ private:
+  FaultConfig cfg_;
+  Rng rng_;
+  std::int64_t fs_requests_ = 0;
+  std::int64_t one_shot_write_in_ = -1;
+  std::int64_t transients_ = 0;
+  std::int64_t no_space_ = 0;
+  std::int64_t rma_drops_ = 0;
+};
+
+}  // namespace tcio

@@ -1,5 +1,7 @@
 #include "fs/client.h"
 
+#include "sim/backoff.h"
+
 namespace tcio::fs {
 
 FsFile FsClient::open(const std::string& name, unsigned flags,
@@ -16,24 +18,50 @@ void FsClient::pwrite(FsFile& f, Offset off, const void* data, Bytes n) {
   TCIO_CHECK_MSG(f.valid(), "pwrite on closed file");
   TCIO_CHECK_MSG((f.flags_ & kWrite) != 0, "pwrite on read-only handle");
   const auto* p = static_cast<const std::byte*>(data);
-  SimTime done = 0;
-  proc_->atomic([&] {
-    done = fs_->write(client_, proc_->now(), f.inode_,
-                      off, {p, static_cast<std::size_t>(n)});
-  });
-  proc_->advanceTo(done);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      SimTime done = 0;
+      proc_->atomic([&] {
+        done = fs_->write(client_, proc_->now(), f.inode_,
+                          off, {p, static_cast<std::size_t>(n)});
+      });
+      proc_->advanceTo(done);
+      return;
+    } catch (const TransientFsError&) {
+      ++retry_stats_.transient_faults;
+      if (attempt >= retry_.max_attempts) {
+        ++retry_stats_.giveups;
+        throw;
+      }
+      ++retry_stats_.retries;
+      proc_->advance(sim::backoffDelay(retry_, attempt, proc_->rng()));
+    }
+  }
 }
 
 void FsClient::pread(FsFile& f, Offset off, void* out, Bytes n) {
   TCIO_CHECK_MSG(f.valid(), "pread on closed file");
   TCIO_CHECK_MSG((f.flags_ & kRead) != 0, "pread on write-only handle");
   auto* p = static_cast<std::byte*>(out);
-  SimTime done = 0;
-  proc_->atomic([&] {
-    done = fs_->read(client_, proc_->now(), f.inode_,
-                     off, {p, static_cast<std::size_t>(n)});
-  });
-  proc_->advanceTo(done);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      SimTime done = 0;
+      proc_->atomic([&] {
+        done = fs_->read(client_, proc_->now(), f.inode_,
+                         off, {p, static_cast<std::size_t>(n)});
+      });
+      proc_->advanceTo(done);
+      return;
+    } catch (const TransientFsError&) {
+      ++retry_stats_.transient_faults;
+      if (attempt >= retry_.max_attempts) {
+        ++retry_stats_.giveups;
+        throw;
+      }
+      ++retry_stats_.retries;
+      proc_->advance(sim::backoffDelay(retry_, attempt, proc_->rng()));
+    }
+  }
 }
 
 Bytes FsClient::size(const FsFile& f) const {
@@ -41,6 +69,20 @@ Bytes FsClient::size(const FsFile& f) const {
   Bytes n = 0;
   proc_->atomic([&] { n = fs_->fileSize(f.inode_); });
   return n;
+}
+
+std::int64_t FsClient::remapFailedChunks(FsFile& f, Offset off, Bytes n) {
+  TCIO_CHECK_MSG(f.valid(), "remapFailedChunks on closed file");
+  Filesystem::RemapResult res;
+  proc_->atomic([&] {
+    res = fs_->remapChunks(client_, proc_->now(), f.inode_, off, n);
+  });
+  if (res.remapped > 0) proc_->advanceTo(res.done);
+  return res.remapped;
+}
+
+void FsClient::installFaultPlan(const FaultConfig& cfg) {
+  proc_->atomic([&] { fs_->installFaultPlan(cfg); });
 }
 
 void FsClient::close(FsFile& f) {

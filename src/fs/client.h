@@ -16,6 +16,11 @@ namespace tcio::fs {
 class FsFile {
  public:
   FsFile() = default;
+  /// True once the handle refers to an open inode. A successful
+  /// FsClient::open always returns a valid handle — open failures are
+  /// reported by throwing (FileNotFound and friends), never by handing back
+  /// an invalid handle — so valid() can only be false for a
+  /// default-constructed or already-closed FsFile.
   bool valid() const { return inode_ >= 0; }
   int inode() const { return inode_; }
 
@@ -29,12 +34,24 @@ class FsFile {
 /// One rank's view of the file system.
 class FsClient {
  public:
+  /// Per-client retry accounting (surfaced through TcioStats::degraded).
+  struct RetryStats {
+    std::int64_t transient_faults = 0;  // TransientFsErrors this rank saw
+    std::int64_t retries = 0;           // backoff-then-retry cycles
+    std::int64_t giveups = 0;           // retry budget exhausted, error rose
+  };
+
   FsClient(Filesystem& fs, sim::Proc& proc)
       : fs_(&fs), proc_(&proc), client_(proc.rank()) {}
 
   /// Opens `name` with OpenFlags; `stripe_count` 0 = file system default.
+  /// Throws FileNotFound when `name` does not exist and kCreate is unset.
   FsFile open(const std::string& name, unsigned flags, int stripe_count = 0);
 
+  /// pwrite/pread absorb TransientFsError up to the retry policy's attempt
+  /// budget, charging a jittered exponential backoff to this rank's virtual
+  /// clock between attempts. Permanent fault classes (NoSpaceError,
+  /// OstFailedError) are never retried and surface immediately.
   void pwrite(FsFile& f, Offset off, const void* data, Bytes n);
   void pread(FsFile& f, Offset off, void* out, Bytes n);
 
@@ -43,12 +60,25 @@ class FsClient {
 
   void close(FsFile& f);
 
+  /// Degraded mode: remap failed-OST chunks of [off, off+n) to surviving
+  /// OSTs. Returns the number of chunks moved (0 = nothing remappable).
+  std::int64_t remapFailedChunks(FsFile& f, Offset off, Bytes n);
+
+  /// Installs the shared fault plan (first caller wins, see Filesystem).
+  void installFaultPlan(const FaultConfig& cfg);
+
+  void setRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retryPolicy() const { return retry_; }
+  const RetryStats& retryStats() const { return retry_stats_; }
+
   Filesystem& filesystem() { return *fs_; }
 
  private:
   Filesystem* fs_;
   sim::Proc* proc_;
   int client_;
+  RetryPolicy retry_;
+  RetryStats retry_stats_;
 };
 
 }  // namespace tcio::fs

@@ -38,7 +38,7 @@ Filesystem::OpenResult Filesystem::open(int client, SimTime t,
   int inode;
   if (it == names_.end()) {
     if ((flags & kCreate) == 0) {
-      throw FsError("open: no such file: " + name);
+      throw FileNotFound(name);
     }
     auto ino = std::make_unique<Inode>();
     ino->name = name;
@@ -95,12 +95,13 @@ SimTime Filesystem::write(int client, SimTime t, int inode, Offset off,
   Inode& ino = inodeAt(inode);
   const Bytes n = static_cast<Bytes>(data.size());
   if (n == 0) return t;
-  if (write_fault_in_ >= 0 && write_fault_in_-- == 0) {
-    throw FsError("injected write fault on " + ino.name);
+  if (plan_ != nullptr && plan_->consumeOneShotWrite()) {
+    throw TransientFsError("injected write fault on " + ino.name);
   }
   SimTime done = t;
   forEachOstRun(ino, off, n, [&](int ost, Offset roff, Bytes rlen) {
     ++stats_.write_requests;
+    maybeFault(FaultPlan::FsVerb::kWrite, ost, t, ino);
     stats_.bytes_written += rlen;
     const LockManager::Cost lock = ino.locks->acquireWrite(client, roff, rlen);
     SimTime duration = cfg_.ost_request_overhead + lock.delay +
@@ -109,6 +110,7 @@ SimTime Filesystem::write(int client, SimTime t, int inode, Offset off,
         (roff % cfg_.page_size != 0 || rlen < cfg_.page_size)) {
       duration += cfg_.small_write_penalty;  // page read-modify-write
     }
+    if (plan_ != nullptr) duration *= plan_->serviceMultiplier(ost);
     const SimTime end =
         osts_[static_cast<std::size_t>(ost)].serveDuration(
             t + cfg_.rpc_latency, duration) +
@@ -129,6 +131,7 @@ SimTime Filesystem::read(int client, SimTime t, int inode, Offset off,
   SimTime done = t;
   forEachOstRun(ino, off, n, [&](int ost, Offset roff, Bytes rlen) {
     ++stats_.read_requests;
+    maybeFault(FaultPlan::FsVerb::kRead, ost, t, ino);
     stats_.bytes_read += rlen;
     auto& cache = caches_[static_cast<std::size_t>(ost)];
     const Bytes resident = cache.residentBytes(inode, roff, rlen);
@@ -138,9 +141,10 @@ SimTime Filesystem::read(int client, SimTime t, int inode, Offset off,
                                       ? cfg_.cache_hit_overhead
                                       : cfg_.ost_request_overhead;
     const SimTime duration =
-        base_overhead + lock.delay +
-        static_cast<double>(resident) / cfg_.cache_read_bandwidth +
-        static_cast<double>(rlen - resident) / cfg_.ost_read_bandwidth;
+        (base_overhead + lock.delay +
+         static_cast<double>(resident) / cfg_.cache_read_bandwidth +
+         static_cast<double>(rlen - resident) / cfg_.ost_read_bandwidth) *
+        (plan_ != nullptr ? plan_->serviceMultiplier(ost) : 1.0);
     const SimTime end =
         osts_[static_cast<std::size_t>(ost)].serveDuration(
             t + cfg_.rpc_latency, duration) +
@@ -184,6 +188,70 @@ Bytes Filesystem::peekSize(const std::string& name) const {
   const auto it = names_.find(name);
   TCIO_CHECK_MSG(it != names_.end(), "peekSize: no such file: " + name);
   return inodeAt(it->second).store.size();
+}
+
+void Filesystem::installFaultPlan(const FaultConfig& cfg) {
+  if (plan_ != nullptr) return;  // first installation wins (shared schedule)
+  plan_ = std::make_unique<FaultPlan>(cfg, FaultPlan::kFsSalt);
+}
+
+FaultPlan& Filesystem::ensureFaultPlan() {
+  if (plan_ == nullptr) {
+    plan_ = std::make_unique<FaultPlan>(FaultConfig{}, FaultPlan::kFsSalt);
+  }
+  return *plan_;
+}
+
+void Filesystem::maybeFault(FaultPlan::FsVerb verb, int ost, SimTime t,
+                            const Inode& ino) {
+  if (plan_ == nullptr) return;
+  switch (plan_->nextFsRequest(verb, ost, t)) {
+    case FaultPlan::FsOutcome::kNone:
+      return;
+    case FaultPlan::FsOutcome::kTransient:
+      throw TransientFsError("transient fault on " + ino.name + " (ost " +
+                             std::to_string(ost) + ")");
+    case FaultPlan::FsOutcome::kNoSpace:
+      throw NoSpaceError("no space left on ost " + std::to_string(ost) +
+                         " writing " + ino.name);
+    case FaultPlan::FsOutcome::kOstFailed:
+      throw OstFailedError("ost " + std::to_string(ost) +
+                               " failed permanently serving " + ino.name,
+                           ost);
+  }
+}
+
+Filesystem::RemapResult Filesystem::remapChunks(int client, SimTime t,
+                                                int inode, Offset off,
+                                                Bytes n) {
+  (void)client;
+  RemapResult res{0, t};
+  Inode& ino = inodeAt(inode);
+  if (plan_ == nullptr || n <= 0) return res;
+  const std::int64_t first = off / cfg_.stripe_size;
+  const std::int64_t last = (off + n - 1) / cfg_.stripe_size;
+  for (std::int64_t chunk = first; chunk <= last; ++chunk) {
+    if (!plan_->ostFailed(ostOf(ino, chunk * cfg_.stripe_size))) continue;
+    int target = -1;
+    for (int probe = 0; probe < cfg_.num_osts; ++probe) {
+      const int ost = (next_remap_ost_ + probe) % cfg_.num_osts;
+      if (!plan_->ostFailed(ost)) {
+        target = ost;
+        next_remap_ost_ = (ost + 1) % cfg_.num_osts;
+        break;
+      }
+    }
+    if (target < 0) return res;  // no survivors; caller surfaces the error
+    ino.remap[chunk] = target;
+    ++res.remapped;
+    ++stats_.chunks_remapped;
+  }
+  if (res.remapped > 0) {
+    // The restripe is an MDS-side layout update: one metadata op.
+    res.done = mds_.serveDuration(t + cfg_.rpc_latency, cfg_.mds_open) +
+               cfg_.rpc_latency;
+  }
+  return res;
 }
 
 std::int64_t Filesystem::revocations(const std::string& name) const {

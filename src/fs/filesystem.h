@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "common/types.h"
 #include "fs/cache.h"
 #include "fs/config.h"
@@ -39,6 +40,10 @@ struct FsStats {
   std::int64_t lock_revocations = 0;
   std::int64_t lock_grants = 0;
   std::int64_t opens = 0;
+  /// Injected-fault accounting (0 when no FaultPlan is installed).
+  std::int64_t transient_faults_injected = 0;
+  std::int64_t no_space_faults_injected = 0;
+  std::int64_t chunks_remapped = 0;
 };
 
 /// Shared file system state + cost model.
@@ -84,15 +89,40 @@ class Filesystem {
       s.lock_revocations += ip->locks->revocations();
       s.lock_grants += ip->locks->grants();
     }
+    if (plan_ != nullptr) {
+      s.transient_faults_injected = plan_->transientFaultsInjected();
+      s.no_space_faults_injected = plan_->noSpaceFaultsInjected();
+    }
     return s;
   }
   /// Lock revocations of one file (ping-pong metric).
   std::int64_t revocations(const std::string& name) const;
 
-  /// Failure injection: the N-th subsequent write request throws FsError.
+  // -- Fault injection ------------------------------------------------------
+
+  /// Installs a seeded fault plan (see common/fault.h). First installation
+  /// wins; later calls are ignored so that ranks racing through a collective
+  /// open share one schedule. Must be called inside an atomic section.
+  void installFaultPlan(const FaultConfig& cfg);
+  const FaultPlan* faultPlan() const { return plan_.get(); }
+
+  /// Legacy single-shot injector: the N-th subsequent write *call* throws
+  /// TransientFsError (a FsError). Kept as a shim over the FaultPlan.
   void injectWriteFault(std::int64_t after_requests) {
-    write_fault_in_ = after_requests;
+    ensureFaultPlan().scheduleOneShotWrite(after_requests);
   }
+
+  /// Remaps chunks of [off, off+n) whose OST has permanently failed to
+  /// surviving OSTs, round-robin (models an MDS failover restripe; charged
+  /// as one MDS op when anything moved). Returns how many chunks moved —
+  /// 0 either when nothing in range is on a failed OST or when no OST
+  /// survives (the caller should then surface the original error).
+  struct RemapResult {
+    std::int64_t remapped = 0;
+    SimTime done = 0;
+  };
+  RemapResult remapChunks(int client, SimTime t, int inode, Offset off,
+                          Bytes n);
 
   /// Optional event trace: every OST request is recorded as "fs.write" /
   /// "fs.read" with the requesting client as the rank (not owned).
@@ -105,14 +135,28 @@ class Filesystem {
     std::unique_ptr<LockManager> locks;
     int stripe_count = 1;
     int start_ost = 0;
+    /// Degraded-mode overrides: chunk index -> surviving OST. Populated by
+    /// remapChunks() after a permanent OST failure; empty in healthy runs.
+    std::map<std::int64_t, int> remap;
   };
 
-  /// OST serving [off, off+len) of a file.
+  /// OST serving [off, off+len) of a file (remap overrides striping).
   int ostOf(const Inode& ino, Offset off) const {
     const std::int64_t chunk = off / cfg_.stripe_size;
+    if (!ino.remap.empty()) {
+      const auto it = ino.remap.find(chunk);
+      if (it != ino.remap.end()) return it->second;
+    }
     return (ino.start_ost + static_cast<int>(chunk % ino.stripe_count)) %
            cfg_.num_osts;
   }
+
+  FaultPlan& ensureFaultPlan();
+
+  /// Consults the plan for one OST request and throws the scheduled typed
+  /// error, if any. No-op without a plan.
+  void maybeFault(FaultPlan::FsVerb verb, int ost, SimTime t,
+                  const Inode& ino);
 
   Inode& inodeAt(int inode);
   const Inode& inodeAt(int inode) const;
@@ -129,8 +173,9 @@ class Filesystem {
   std::vector<sim::Timeline> osts_;
   std::vector<ServerCache> caches_;
   int next_start_ost_ = 0;
+  int next_remap_ost_ = 0;
   FsStats stats_;
-  std::int64_t write_fault_in_ = -1;
+  std::unique_ptr<FaultPlan> plan_;
   sim::Trace* trace_ = nullptr;
 };
 

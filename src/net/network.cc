@@ -34,6 +34,10 @@ Network::Network(const NetworkConfig& cfg)
   fabric_.setCongestion(cfg_.fabric_congestion_gamma,
                         cfg_.fabric_congestion_tau);
   jitter_rng_ = Rng(cfg_.jitter_seed);
+  if (cfg_.faults.enabled) {
+    fault_plan_ =
+        std::make_unique<FaultPlan>(cfg_.faults, FaultPlan::kNetSalt);
+  }
   if (cfg_.tx_queue_depth > 0) {
     in_flight_.resize(static_cast<std::size_t>(cfg_.num_ranks));
   }
@@ -87,8 +91,11 @@ TransferTimes Network::transfer(SimTime t, Rank src, Rank dst, Bytes n,
     ++intranode_messages_;
     intranode_bytes_ += n;
     auto& bus = membus_[static_cast<std::size_t>(sn)];
-    const SimTime done =
-        bus.serve(t, n) + cfg_.intranode_latency + drawJitter();
+    SimTime done = bus.serve(t, n) + cfg_.intranode_latency + drawJitter();
+    if (rdma && n > 0 && fault_plan_ != nullptr) {
+      // Dropped payload: the DMA engine retransmits after a fixed delay.
+      done += fault_plan_->nextRmaPayload();
+    }
     if (trace_ != nullptr) {
       trace_->record(src, t, done, rdma ? "net.rdma" : "net.msg", n);
     }
@@ -124,7 +131,12 @@ TransferTimes Network::transfer(SimTime t, Rank src, Rank dst, Bytes n,
   const SimTime egress = nic_out_[static_cast<std::size_t>(sn)].serve(start, n);
   const SimTime core = fabric_.serve(egress, n);
   const SimTime ingress = nic_in_[static_cast<std::size_t>(dn)].serve(core, n);
-  const SimTime delivered = ingress + cfg_.internode_latency + drawJitter();
+  SimTime delivered = ingress + cfg_.internode_latency + drawJitter();
+  if (rdma && fault_plan_ != nullptr) {
+    // Dropped payload: the fabric retransmits after a fixed delay. The
+    // transfer still completes — one-sided code degrades, never breaks.
+    delivered += fault_plan_->nextRmaPayload();
+  }
   if (!rdma) txRecord(src, delivered);
   if (trace_ != nullptr) {
     trace_->record(src, t, delivered, rdma ? "net.rdma" : "net.msg", n);

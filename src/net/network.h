@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/timeline.h"
@@ -79,6 +80,12 @@ struct NetworkConfig {
   double heavy_tail_prob = 0.0;
   SimTime heavy_tail_mean = 1.0e-3;
   std::uint64_t jitter_seed = 12345;
+
+  /// Network-layer fault injection (rma_drop_* fields; see common/fault.h).
+  /// When enabled, each RMA payload may be dropped by the fabric and
+  /// hardware-retransmitted: delivery is delayed, never lost, and the drop
+  /// is counted so TCIO's degradation ladder can react.
+  FaultConfig faults;
 };
 
 /// Result of a transfer: when the sender's CPU is free to continue, and when
@@ -134,6 +141,10 @@ class Network {
   std::int64_t connectionsEstablished() const {
     return static_cast<std::int64_t>(connections_.size());
   }
+  /// RMA payloads dropped (and retransmitted) by the injected fault plan.
+  std::int64_t rmaDropCount() const {
+    return fault_plan_ != nullptr ? fault_plan_->rmaDropsInjected() : 0;
+  }
   const sim::Timeline& fabric() const { return fabric_; }
 
  private:
@@ -147,6 +158,7 @@ class Network {
   int num_nodes_;
   sim::Trace* trace_ = nullptr;
   Rng jitter_rng_{0};
+  std::unique_ptr<FaultPlan> fault_plan_;
   /// Per-rank delivery times of in-flight messages (pruned lazily).
   std::vector<std::deque<SimTime>> in_flight_;
   std::vector<sim::Timeline> nic_out_;

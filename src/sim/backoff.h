@@ -1,0 +1,32 @@
+// Deterministic backoff timers for retry loops running in simulated time.
+//
+// A retrying client does not spin: it charges the backoff interval to its
+// own virtual clock (Proc::advance), which models the wall-clock wait of a
+// real exponential-backoff loop. Jitter is drawn from the caller's seeded
+// stream, so the same seed reproduces the same backoff schedule — a hard
+// requirement of the fault-matrix determinism tests.
+#pragma once
+
+#include <algorithm>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace tcio::sim {
+
+/// Backoff interval before retry attempt `attempt` (1-based: the delay
+/// charged after the attempt-th try failed). Exponential in the attempt
+/// number, capped at `policy.max_backoff`, jittered multiplicatively from
+/// `rng` to de-synchronize retrying ranks.
+inline SimTime backoffDelay(const RetryPolicy& policy, int attempt, Rng& rng) {
+  double delay = policy.base_backoff;
+  for (int i = 1; i < attempt; ++i) delay *= policy.backoff_multiplier;
+  delay = std::min(delay, policy.max_backoff);
+  if (policy.jitter_fraction > 0) {
+    delay *= 1.0 + policy.jitter_fraction * (rng.uniform() - 0.5);
+  }
+  return delay;
+}
+
+}  // namespace tcio::sim

@@ -7,6 +7,7 @@
 // level-1 buffer is aligned with one level-2 buffer segment").
 #pragma once
 
+#include "common/fault.h"
 #include "common/types.h"
 
 namespace tcio::core {
@@ -48,6 +49,29 @@ struct TcioConfig {
   /// Per-source-node partition of each leader's staging window. 0 = auto
   /// (one full segment per node-local rank per round, plus header slack).
   Bytes node_agg_slot_bytes = 0;
+
+  // -- Fault injection and recovery (see common/fault.h, DESIGN.md) ----------
+
+  /// Cross-layer fault plan. When `faults.enabled`, the collective open
+  /// installs it into the shared Filesystem (first open wins — every rank
+  /// and file then shares one deterministic schedule). Network faults
+  /// (rma_drop_*) are configured on NetworkConfig::faults instead: the
+  /// network exists before any TCIO file is opened.
+  FaultConfig faults;
+
+  /// Retry policy the FS client uses to absorb TransientFsError (bounded
+  /// exponential backoff charged to simulated time). Default: no retry —
+  /// transients surface unless the application opts in.
+  RetryPolicy retry;
+
+  /// Degradation ladder, RMA leg: once the network has dropped (and
+  /// retransmitted) at least this many RMA payloads, the next collective
+  /// point agrees to abandon one-sided epochs and run every remaining
+  /// exchange through the two-sided staged path. Only meaningful for plain
+  /// one-sided mode with lazy reads and no auto-fetch (the staged path only
+  /// moves data at collective calls; node aggregation keeps its own leader
+  /// funnel). 0 disables.
+  std::int64_t rma_fault_fallback_threshold = 0;
 };
 
 }  // namespace tcio::core

@@ -42,14 +42,32 @@ File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
                  "node aggregation stages data until the next collective "
                  "call, so it requires one-sided mode with lazy reads and no "
                  "independent auto-fetch");
+  // Fault plan and retry policy must be in place before the first FS
+  // operation. The plan lands in the shared Filesystem (first open wins, so
+  // all ranks share one deterministic schedule).
+  if (cfg_.faults.enabled) client_.installFaultPlan(cfg_.faults);
+  client_.setRetryPolicy(cfg_.retry);
   // Collective open: rank 0 creates/truncates, everyone else opens after.
+  // Open failures (e.g. FileNotFound in read mode) are captured and agreed
+  // so every rank reaches the barrier and throws the same typed error —
+  // rank 0 must never abandon peers already waiting inside the barrier.
+  mpi::CapturedError open_err;
   if (comm_->rank() == 0) {
-    fsfile_ = client_.open(name_, flags_);
-    comm_->barrier();
-  } else {
-    comm_->barrier();
-    fsfile_ = client_.open(name_, flags_ & ~(fs::kCreate | fs::kTruncate));
+    try {
+      fsfile_ = client_.open(name_, flags_);
+    } catch (const std::exception& e) {
+      open_err.capture(e);
+    }
   }
+  comm_->barrier();
+  if (comm_->rank() != 0) {
+    try {
+      fsfile_ = client_.open(name_, flags_ & ~(fs::kCreate | fs::kTruncate));
+    } catch (const std::exception& e) {
+      open_err.capture(e);
+    }
+  }
+  mpi::agreeOnError(*comm_, open_err);
   window_ = std::make_unique<mpi::Window>(mpi::Window::create(
       *comm_, flags_region_ + cfg_.segments_per_rank * cfg_.segment_size));
   if (cfg_.node_aggregation) {
@@ -129,7 +147,7 @@ void File::flushLevel1() {
   const SegmentId seg = level1_.alignedSegment();
   const std::vector<Extent> extents = level1_.mergedExtents();
   const SimTime flush_begin = comm_->proc().now();
-  if (cfg_.use_onesided && !cfg_.node_aggregation) {
+  if (!twoSidedExchange() && !cfg_.node_aggregation) {
     const Rank owner = map_.rankOf(seg);
     const std::int64_t slot = map_.slotOf(seg);
     std::vector<mpi::Window::PutBlock> blocks;
@@ -247,7 +265,7 @@ void File::ensureLoadedIndependent(SegmentId seg) {
   const Bytes fsize = client_.size(fsfile_);
   const Bytes len = std::clamp<Bytes>(fsize - base, 0, cfg_.segment_size);
   std::vector<std::byte> tmp(static_cast<std::size_t>(len));
-  if (len > 0) client_.pread(fsfile_, base, tmp.data(), len);
+  if (len > 0) preadDegraded(base, tmp.data(), len);
   std::vector<mpi::Window::PutBlock> blocks;
   blocks.push_back({flagsDisp(slot, kLoadedFlag), &kFlagSet, 1});
   if (len > 0) blocks.push_back({dataDisp(slot, 0), tmp.data(), len});
@@ -313,10 +331,18 @@ void File::collectiveFetch() {
   const SimTime fetch_begin = comm_->proc().now();
   if (cfg_.node_aggregation) {
     nodeExchangeStagedWrites();
-  } else if (cfg_.use_onesided) {
-    flushLevel1();
-  } else {
+  } else if (twoSidedExchange()) {
     exchangeStagedWrites();
+  } else {
+    // One-sided flush is local + RMA only: capture and agree so a fault on
+    // one rank cannot strand its peers in the bitmap allreduce below.
+    mpi::CapturedError err;
+    try {
+      flushLevel1();
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
+    collectiveAgreeOnError(err);
   }
   // Union of needed segments across ranks.
   const std::int64_t total_segs =
@@ -331,27 +357,37 @@ void File::collectiveFetch() {
   comm_->allreduce(bitmap.data(), static_cast<std::int64_t>(bitmap.size()),
                    mpi::ReduceOp::kBitOr);
   // Owners load their needed, non-resident segments with large file reads.
-  const Bytes fsize = client_.size(fsfile_);
-  std::byte* local = window_->localData();
-  for (std::int64_t slot = 0; slot < cfg_.segments_per_rank; ++slot) {
-    const SegmentId g = map_.segmentFor(comm_->rank(), slot);
-    if ((bitmap[static_cast<std::size_t>(g / 64)] & (1ULL << (g % 64))) == 0) {
-      continue;
+  // The loads are purely local, so capture any FS failure and agree after
+  // the existing barrier (an aligned point for every rank).
+  mpi::CapturedError load_err;
+  try {
+    const Bytes fsize = client_.size(fsfile_);
+    std::byte* local_win = window_->localData();
+    for (std::int64_t slot = 0; slot < cfg_.segments_per_rank; ++slot) {
+      const SegmentId g = map_.segmentFor(comm_->rank(), slot);
+      if ((bitmap[static_cast<std::size_t>(g / 64)] & (1ULL << (g % 64))) ==
+          0) {
+        continue;
+      }
+      std::byte& dirty = local_win[flagsDisp(slot, kDirtyFlag)];
+      std::byte& loaded = local_win[flagsDisp(slot, kLoadedFlag)];
+      if (dirty != std::byte{0} || loaded != std::byte{0}) continue;
+      const Offset base = map_.baseOf(g);
+      const Bytes len = std::clamp<Bytes>(fsize - base, 0, cfg_.segment_size);
+      if (len > 0) {
+        preadDegraded(base, local_win + dataDisp(slot, 0), len);
+      }
+      loaded = kFlagSet;
     }
-    std::byte& dirty = local[flagsDisp(slot, kDirtyFlag)];
-    std::byte& loaded = local[flagsDisp(slot, kLoadedFlag)];
-    if (dirty != std::byte{0} || loaded != std::byte{0}) continue;
-    const Offset base = map_.baseOf(g);
-    const Bytes len = std::clamp<Bytes>(fsize - base, 0, cfg_.segment_size);
-    if (len > 0) {
-      client_.pread(fsfile_, base, local + dataDisp(slot, 0), len);
-    }
-    loaded = kFlagSet;
+  } catch (const std::exception& e) {
+    load_err.capture(e);
   }
   comm_->barrier();
+  collectiveAgreeOnError(load_err);
+  std::byte* local = window_->localData();
   if (cfg_.node_aggregation) {
     nodeAggregatedGather(pending_reads_);
-  } else if (cfg_.use_onesided) {
+  } else if (!twoSidedExchange()) {
     gatherPending(pending_reads_);
   } else {
     // Two-sided reply exchange: ship requests to owners, owners answer from
@@ -458,23 +494,36 @@ void File::seek(Offset off, Whence whence) {
 
 void File::flush() {
   TCIO_CHECK_MSG(open_, "flush on closed TCIO file");
+  maybeFallBackToTwoSided();
   if (cfg_.node_aggregation) {
     nodeExchangeStagedWrites();
-  } else if (cfg_.use_onesided) {
-    flushLevel1();
-  } else {
+  } else if (twoSidedExchange()) {
     exchangeStagedWrites();
+  } else {
+    // One-sided flush is local + RMA only: capture and agree so a faulted
+    // rank cannot strand its peers in the barrier below.
+    mpi::CapturedError err;
+    try {
+      flushLevel1();
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
+    collectiveAgreeOnError(err);
   }
   comm_->barrier();  // tcio_flush is collective (paper §IV.B)
+  syncRecoveryStats();
 }
 
 void File::fetch() {
   TCIO_CHECK_MSG(open_, "fetch on closed TCIO file");
+  maybeFallBackToTwoSided();
   collectiveFetch();
+  syncRecoveryStats();
 }
 
 void File::exchangeStagedWrites() {
   flushLevel1();  // move any level-1 residue into the staging area
+  if (fallback_two_sided_) ++stats_.degraded.fallback_exchanges;
   const int P = comm_->size();
   const auto sp = static_cast<std::size_t>(P);
   std::vector<std::vector<std::byte>> meta(sp), payload(sp);
@@ -520,28 +569,36 @@ void File::exchangeStagedWrites() {
   std::vector<Offset> mdsp, pdsp;
   const auto got_meta = exchange(meta, mcnt, mdsp);
   const auto got_payload = exchange(payload, pcnt, pdsp);
-  // Apply received blocks into the local window.
-  std::byte* local = window_->localData();
-  for (int src = 0; src < P; ++src) {
-    const auto s = static_cast<std::size_t>(src);
-    const auto* blocks =
-        reinterpret_cast<const BlockMeta*>(got_meta.data() + mdsp[s]);
-    const std::size_t nb =
-        static_cast<std::size_t>(mcnt[s]) / sizeof(BlockMeta);
-    const std::byte* from = got_payload.data() + pdsp[s];
-    for (std::size_t i = 0; i < nb; ++i) {
-      const SegmentId g = map_.segmentOf(blocks[i].off);
-      const std::int64_t slot = map_.slotOf(g);
-      std::memcpy(local + dataDisp(slot, map_.dispOf(blocks[i].off)), from,
-                  static_cast<std::size_t>(blocks[i].len));
-      from += blocks[i].len;
-      local[flagsDisp(slot, kDirtyFlag)] = kFlagSet;
+  // Apply received blocks into the local window. Purely local work: capture
+  // and agree (the segment-exchange agreement point) so a corrupt frame on
+  // one rank surfaces on all of them instead of desynchronizing the job.
+  mpi::CapturedError err;
+  try {
+    std::byte* local = window_->localData();
+    for (int src = 0; src < P; ++src) {
+      const auto s = static_cast<std::size_t>(src);
+      const auto* blocks =
+          reinterpret_cast<const BlockMeta*>(got_meta.data() + mdsp[s]);
+      const std::size_t nb =
+          static_cast<std::size_t>(mcnt[s]) / sizeof(BlockMeta);
+      const std::byte* from = got_payload.data() + pdsp[s];
+      for (std::size_t i = 0; i < nb; ++i) {
+        const SegmentId g = map_.segmentOf(blocks[i].off);
+        const std::int64_t slot = map_.slotOf(g);
+        std::memcpy(local + dataDisp(slot, map_.dispOf(blocks[i].off)), from,
+                    static_cast<std::size_t>(blocks[i].len));
+        from += blocks[i].len;
+        local[flagsDisp(slot, kDirtyFlag)] = kFlagSet;
+      }
     }
+    comm_->chargeCopy(static_cast<Bytes>(got_payload.size()));
+  } catch (const std::exception& e) {
+    err.capture(e);
   }
-  comm_->chargeCopy(static_cast<Bytes>(got_payload.size()));
   comm_->memory().release(staged_bytes_);
   staged_.clear();
   staged_bytes_ = 0;
+  collectiveAgreeOnError(err);
 }
 
 void File::nodeExchangeStagedWrites() {
@@ -614,41 +671,49 @@ void File::nodeExchangeStagedWrites() {
       };
   const auto frames = node_agg_->exchange(per_node, coalesce);
   // Destination leaders apply the received blocks into node-local owners'
-  // windows — membus epochs, one per owner.
-  if (node_map_->isLeader()) {
-    std::map<Rank, std::vector<mpi::Window::PutBlock>> by_owner;
-    std::map<Rank, std::set<std::int64_t>> flagged;
-    Bytes applied = 0;
-    for (const auto& from_node : frames) {
-      for (const auto& rb : from_node) {
-        std::size_t pos = 0;
-        while (pos < rb.data.size()) {
-          BlockMeta m;
-          TCIO_CHECK(pos + sizeof(m) <= rb.data.size());
-          std::memcpy(&m, rb.data.data() + pos, sizeof(m));
-          pos += sizeof(m);
-          TCIO_CHECK(pos + static_cast<std::size_t>(m.len) <= rb.data.size());
-          const SegmentId g = map_.segmentOf(m.off);
-          const Rank owner = map_.rankOf(g);
-          const std::int64_t slot = map_.slotOf(g);
-          auto& blocks = by_owner[owner];
-          if (flagged[owner].insert(slot).second) {
-            blocks.push_back({flagsDisp(slot, kDirtyFlag), &kFlagSet, 1});
+  // windows — membus epochs, one per owner. Leader-local work: capture and
+  // agree after the barrier below so a leader-side fault becomes the same
+  // typed error on every rank instead of a wedged job.
+  mpi::CapturedError err;
+  try {
+    if (node_map_->isLeader()) {
+      std::map<Rank, std::vector<mpi::Window::PutBlock>> by_owner;
+      std::map<Rank, std::set<std::int64_t>> flagged;
+      Bytes applied = 0;
+      for (const auto& from_node : frames) {
+        for (const auto& rb : from_node) {
+          std::size_t pos = 0;
+          while (pos < rb.data.size()) {
+            BlockMeta m;
+            TCIO_CHECK(pos + sizeof(m) <= rb.data.size());
+            std::memcpy(&m, rb.data.data() + pos, sizeof(m));
+            pos += sizeof(m);
+            TCIO_CHECK(pos + static_cast<std::size_t>(m.len) <=
+                       rb.data.size());
+            const SegmentId g = map_.segmentOf(m.off);
+            const Rank owner = map_.rankOf(g);
+            const std::int64_t slot = map_.slotOf(g);
+            auto& blocks = by_owner[owner];
+            if (flagged[owner].insert(slot).second) {
+              blocks.push_back({flagsDisp(slot, kDirtyFlag), &kFlagSet, 1});
+            }
+            blocks.push_back(
+                {dataDisp(slot, map_.dispOf(m.off)), rb.data.data() + pos,
+                 m.len});
+            pos += static_cast<std::size_t>(m.len);
+            applied += m.len;
           }
-          blocks.push_back(
-              {dataDisp(slot, map_.dispOf(m.off)), rb.data.data() + pos,
-               m.len});
-          pos += static_cast<std::size_t>(m.len);
-          applied += m.len;
         }
       }
+      for (auto& [owner, blocks] : by_owner) {
+        window_->lock(mpi::LockType::kShared, owner);
+        window_->putIndexed(owner, blocks);
+        window_->unlock(owner);
+      }
+      stats_.intranode_bytes += applied;
     }
-    for (auto& [owner, blocks] : by_owner) {
-      window_->lock(mpi::LockType::kShared, owner);
-      window_->putIndexed(owner, blocks);
-      window_->unlock(owner);
-    }
-    stats_.intranode_bytes += applied;
+  } catch (const std::exception& e) {
+    err.capture(e);
   }
   // The apply epochs above must land before any rank inspects or drains its
   // window (owner loads in collectiveFetch, drainToFs at close).
@@ -660,6 +725,7 @@ void File::nodeExchangeStagedWrites() {
   comm_->memory().release(staged_bytes_);
   staged_.clear();
   staged_bytes_ = 0;
+  collectiveAgreeOnError(err);
 }
 
 void File::nodeAggregatedGather(std::vector<PendingRead>& reads) {
@@ -806,15 +872,31 @@ void File::close() {
   // attempt the collective sequence again mid-unwind (the other ranks are no
   // longer at a matching program point).
   open_ = false;
+  maybeFallBackToTwoSided();
+  // Every agreement point below throws the *same* typed error on *all*
+  // ranks, so catching locally and continuing the close sequence keeps the
+  // ranks in lockstep — resources are released and the file handle closed
+  // collectively before the agreed error finally surfaces.
+  mpi::CapturedError err;
   if ((flags_ & fs::kRead) != 0) {
-    collectiveFetch();  // resolve any pending lazy reads
+    try {
+      collectiveFetch();  // resolve any pending lazy reads
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
   }
-  if (cfg_.node_aggregation) {
-    nodeExchangeStagedWrites();
-  } else if (cfg_.use_onesided) {
-    flushLevel1();
-  } else {
-    exchangeStagedWrites();
+  if (!err.set()) {
+    try {
+      if (cfg_.node_aggregation) {
+        nodeExchangeStagedWrites();
+      } else if (twoSidedExchange()) {
+        exchangeStagedWrites();
+      } else {
+        flushLevel1();  // local + RMA only; agreement happens below
+      }
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
   }
   // Aggregate file size across ranks (pre-existing contents included).
   std::int64_t fsize = std::max(local_max_written_, client_.size(fsfile_));
@@ -823,30 +905,22 @@ void File::close() {
   // Drain under collective error agreement: a rank whose file-system writes
   // fail must not leave its peers blocked in the closing collectives, and a
   // rank whose own writes succeeded must still learn the file is damaged.
-  std::uint8_t failed = 0;
-  std::string fault;
-  if ((flags_ & fs::kWrite) != 0) {
+  // The drain is purely local, so skipping it on an already-failed rank (or
+  // failing on some ranks only) cannot desynchronize the collectives.
+  if (!err.set() && (flags_ & fs::kWrite) != 0) {
     try {
       drainToFs(fsize);
-    } catch (const FsError& e) {
-      failed = 1;
-      fault = e.what();
+    } catch (const std::exception& e) {
+      err.capture(e);
     }
   }
-  comm_->allreduce(&failed, 1, mpi::ReduceOp::kMax);
-  comm_->barrier();
   client_.close(fsfile_);
   if (node_agg_ != nullptr) node_agg_->close();
   comm_->memory().release(cfg_.segment_size);  // level-1 buffer
   comm_->memory().release(window_->localSize());
   window_.reset();
-  open_ = false;
-  if (failed != 0) {
-    throw FsError(fault.empty()
-                      ? "tcio close: a peer rank failed writing level-2 "
-                        "data back to the file system"
-                      : fault);
-  }
+  syncRecoveryStats();
+  collectiveAgreeOnError(err);
 }
 
 void File::drainToFs(Bytes file_size) {
@@ -857,8 +931,65 @@ void File::drainToFs(Bytes file_size) {
     const Offset base = map_.baseOf(g);
     if (base >= file_size) continue;
     const Bytes len = std::min(cfg_.segment_size, file_size - base);
-    client_.pwrite(fsfile_, base, local + dataDisp(slot, 0), len);
+    pwriteDegraded(base, local + dataDisp(slot, 0), len);
   }
+}
+
+// -- Fault recovery -----------------------------------------------------------
+
+void File::collectiveAgreeOnError(const mpi::CapturedError& err) {
+  mpi::agreeOnError(*comm_, err);
+}
+
+void File::maybeFallBackToTwoSided() {
+  if (cfg_.rma_fault_fallback_threshold <= 0 || fallback_two_sided_) return;
+  if (!cfg_.use_onesided || cfg_.node_aggregation || !cfg_.lazy_reads ||
+      cfg_.auto_fetch_on_segment_exit) {
+    return;  // no staged path to fall back to in these configurations
+  }
+  sim::Proc& p = comm_->proc();
+  const std::int64_t drops =
+      p.atomic([&] { return comm_->world().network().rmaDropCount(); });
+  // The drop counter is global but read at rank-local times; agree on the
+  // decision so every rank switches paths at the same collective call.
+  std::uint8_t trip = drops >= cfg_.rma_fault_fallback_threshold ? 1 : 0;
+  comm_->allreduce(&trip, 1, mpi::ReduceOp::kMax);
+  if (trip != 0) {
+    fallback_two_sided_ = true;
+    stats_.degraded.two_sided_fallback = true;
+  }
+}
+
+void File::pwriteDegraded(Offset off, const std::byte* src, Bytes n) {
+  try {
+    client_.pwrite(fsfile_, off, src, n);
+  } catch (const OstFailedError&) {
+    const std::int64_t moved = client_.remapFailedChunks(fsfile_, off, n);
+    if (moved == 0) throw;  // nothing to fail over to — surface it
+    stats_.degraded.chunks_remapped += moved;
+    client_.pwrite(fsfile_, off, src, n);
+  }
+}
+
+void File::preadDegraded(Offset off, std::byte* dst, Bytes n) {
+  try {
+    client_.pread(fsfile_, off, dst, n);
+  } catch (const OstFailedError&) {
+    const std::int64_t moved = client_.remapFailedChunks(fsfile_, off, n);
+    if (moved == 0) throw;  // nothing to fail over to — surface it
+    stats_.degraded.chunks_remapped += moved;
+    client_.pread(fsfile_, off, dst, n);
+  }
+}
+
+void File::syncRecoveryStats() {
+  const fs::FsClient::RetryStats& rs = client_.retryStats();
+  stats_.degraded.fs_transient_faults = rs.transient_faults;
+  stats_.degraded.fs_retries = rs.retries;
+  stats_.degraded.fs_retry_giveups = rs.giveups;
+  sim::Proc& p = comm_->proc();
+  stats_.degraded.rma_drops =
+      p.atomic([&] { return comm_->world().network().rmaDropCount(); });
 }
 
 }  // namespace tcio::core

@@ -28,6 +28,7 @@
 
 #include "common/types.h"
 #include "fs/client.h"
+#include "mpi/agreement.h"
 #include "mpi/comm.h"
 #include "mpi/datatype.h"
 #include "mpi/rma.h"
@@ -40,6 +41,25 @@
 namespace tcio::core {
 
 enum class Whence { kSet, kCur, kEnd };
+
+/// Degraded-mode and recovery counters. Nonzero values mean the run survived
+/// injected faults; `stats().degraded.any()` is the canonical "this job
+/// limped" signal — degradation is always reported, never silent.
+struct TcioDegradedStats {
+  std::int64_t fs_transient_faults = 0;  // TransientFsErrors this rank saw
+  std::int64_t fs_retries = 0;           // backoff-then-retry cycles
+  std::int64_t fs_retry_giveups = 0;     // retry budget exhausted
+  std::int64_t chunks_remapped = 0;      // failed-OST chunks failed over
+  std::int64_t rma_drops = 0;            // dropped RMA payloads (job-wide)
+  std::int64_t fallback_exchanges = 0;   // staged exchanges run post-fallback
+  bool two_sided_fallback = false;       // RMA degradation ladder engaged
+
+  bool any() const {
+    return fs_transient_faults != 0 || fs_retries != 0 ||
+           fs_retry_giveups != 0 || chunks_remapped != 0 || rma_drops != 0 ||
+           two_sided_fallback;
+  }
+};
 
 /// Runtime counters (also the evidence for the paper's Table III row on
 /// memory efficiency).
@@ -60,6 +80,8 @@ struct TcioStats {
   /// would have issued to remote nodes, minus leader epochs actually
   /// issued. Meaningful summed across ranks; may be negative on leaders.
   std::int64_t internode_messages_saved = 0;
+  /// Fault-recovery accounting (all zero in healthy runs).
+  TcioDegradedStats degraded;
 };
 
 /// One rank's handle on a shared TCIO file. Open/flush/fetch/close are
@@ -168,6 +190,33 @@ class File {
   /// Writes this rank's dirty slots to the file system.
   void drainToFs(Bytes file_size);
 
+  // -- Fault recovery (see DESIGN.md "Failure model and recovery") -----------
+
+  /// The collective agreement point: all ranks either continue or throw the
+  /// same typed error (mpi::agreeOnError over this file's communicator).
+  /// Must be called at aligned program points by every rank.
+  void collectiveAgreeOnError(const mpi::CapturedError& err);
+
+  /// True when exchanges run through the two-sided staged path — either by
+  /// configuration or because the RMA degradation ladder tripped.
+  bool twoSidedExchange() const {
+    return !cfg_.use_onesided || fallback_two_sided_;
+  }
+
+  /// Collective: trips the one-sided -> two-sided fallback once the
+  /// network's RMA drop count passes the configured threshold (agreed by
+  /// allreduce so every rank switches at the same collective call).
+  void maybeFallBackToTwoSided();
+
+  /// FS access with permanent-OST degradation: on OstFailedError, remap the
+  /// failed chunks to surviving OSTs and retry once. Transients are already
+  /// absorbed below, in FsClient's retry loop.
+  void pwriteDegraded(Offset off, const std::byte* src, Bytes n);
+  void preadDegraded(Offset off, std::byte* dst, Bytes n);
+
+  /// Copies the client/network recovery counters into stats_.degraded.
+  void syncRecoveryStats();
+
   mpi::Comm* comm_;
   fs::FsClient client_;
   fs::FsFile fsfile_;
@@ -188,6 +237,7 @@ class File {
   Offset pointer_ = 0;
   Bytes local_max_written_ = 0;
   bool open_ = false;
+  bool fallback_two_sided_ = false;
   TcioStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "mpi/agreement.h"
 
 namespace tcio::topo {
 
@@ -176,55 +177,75 @@ std::vector<std::vector<NodeAggregator::RankBlob>> NodeAggregator::exchange(
   }
   std::vector<Bytes> cursor(sn, 0);
   const Bytes slot_data = slot_bytes_ - kSlotHeader;
+  // Leader-local failures (a bad put, a corrupt slot) are captured and
+  // piggybacked on the round allreduce: every rank learns the error class
+  // and throws the same typed error, instead of the survivors spinning in
+  // the round loop waiting for a dead leader's data.
+  mpi::CapturedError err;
   bool more = true;
   while (more) {
     ++stats_.rounds;
-    if (map_->isLeader()) {
-      for (int d = 0; d < N; ++d) {
-        if (d == me) continue;
-        const auto& stream = out[static_cast<std::size_t>(d)];
-        const Bytes remaining =
-            static_cast<Bytes>(stream.size()) - cursor[static_cast<std::size_t>(d)];
-        if (remaining <= 0) continue;
-        const Bytes chunk = std::min(remaining, slot_data);
-        const std::uint64_t header = static_cast<std::uint64_t>(chunk);
-        const Offset slot_base =
-            static_cast<Offset>(me) * slot_bytes_;
-        const mpi::Window::PutBlock blocks[2] = {
-            {slot_base, &header, kSlotHeader},
-            {slot_base + kSlotHeader,
-             stream.data() + cursor[static_cast<std::size_t>(d)], chunk}};
-        const Rank target = map_->leaderOf(d);
-        staging_->lock(mpi::LockType::kShared, target);
-        staging_->putIndexed(target, blocks);
-        staging_->unlock(target);
-        cursor[static_cast<std::size_t>(d)] += chunk;
-        ++stats_.internode_puts;
-        stats_.internode_bytes += chunk;
+    try {
+      if (map_->isLeader() && !err.set()) {
+        for (int d = 0; d < N; ++d) {
+          if (d == me) continue;
+          const auto& stream = out[static_cast<std::size_t>(d)];
+          const Bytes remaining = static_cast<Bytes>(stream.size()) -
+                                  cursor[static_cast<std::size_t>(d)];
+          if (remaining <= 0) continue;
+          const Bytes chunk = std::min(remaining, slot_data);
+          const std::uint64_t header = static_cast<std::uint64_t>(chunk);
+          const Offset slot_base = static_cast<Offset>(me) * slot_bytes_;
+          const mpi::Window::PutBlock blocks[2] = {
+              {slot_base, &header, kSlotHeader},
+              {slot_base + kSlotHeader,
+               stream.data() + cursor[static_cast<std::size_t>(d)], chunk}};
+          const Rank target = map_->leaderOf(d);
+          staging_->lock(mpi::LockType::kShared, target);
+          staging_->putIndexed(target, blocks);
+          staging_->unlock(target);
+          cursor[static_cast<std::size_t>(d)] += chunk;
+          ++stats_.internode_puts;
+          stats_.internode_bytes += chunk;
+        }
       }
+    } catch (const std::exception& e) {
+      err.capture(e);
     }
     comm.barrier();
     bool local_more = false;
-    if (map_->isLeader()) {
-      std::byte* local = staging_->localData();
-      for (int s = 0; s < N; ++s) {
-        if (s == me) continue;
-        std::byte* slot = local + static_cast<Offset>(s) * slot_bytes_;
-        const auto got = readValue<std::uint64_t>(slot);
-        if (got == 0) continue;
-        appendRaw(in[static_cast<std::size_t>(s)], slot + kSlotHeader,
-                  static_cast<std::size_t>(got));
-        std::memset(slot, 0, static_cast<std::size_t>(kSlotHeader));
+    try {
+      if (map_->isLeader() && !err.set()) {
+        std::byte* local = staging_->localData();
+        for (int s = 0; s < N; ++s) {
+          if (s == me) continue;
+          std::byte* slot = local + static_cast<Offset>(s) * slot_bytes_;
+          const auto got = readValue<std::uint64_t>(slot);
+          if (got == 0) continue;
+          appendRaw(in[static_cast<std::size_t>(s)], slot + kSlotHeader,
+                    static_cast<std::size_t>(got));
+          std::memset(slot, 0, static_cast<std::size_t>(kSlotHeader));
+        }
+        for (int d = 0; d < N && !local_more; ++d) {
+          if (d == me) continue;
+          local_more =
+              cursor[static_cast<std::size_t>(d)] <
+              static_cast<Bytes>(out[static_cast<std::size_t>(d)].size());
+        }
       }
-      for (int d = 0; d < N && !local_more; ++d) {
-        if (d == me) continue;
-        local_more = cursor[static_cast<std::size_t>(d)] <
-                     static_cast<Bytes>(out[static_cast<std::size_t>(d)].size());
-      }
+    } catch (const std::exception& e) {
+      err.capture(e);
     }
-    std::uint8_t flag = local_more ? 1 : 0;
-    comm.allreduce(&flag, 1, mpi::ReduceOp::kMax);
-    more = flag != 0;
+    std::int32_t flags[2] = {local_more ? 1 : 0, err.code};
+    comm.allreduce(flags, 2, mpi::ReduceOp::kMax);
+    if (flags[1] != mpi::CapturedError::kNone) {
+      mpi::throwTyped(
+          flags[1],
+          err.code == flags[1] && !err.what.empty()
+              ? err.what
+              : "node-aggregation leader exchange failed on a peer rank");
+    }
+    more = flags[0] != 0;
   }
 
   // Phase 3: parse accumulated streams. Under a rewrite the stream is one

@@ -1,0 +1,151 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcio {
+namespace {
+
+TEST(FaultPlanTest, DisabledPlanInjectsNothing) {
+  FaultPlan plan(FaultConfig{});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(plan.nextFsRequest(FaultPlan::FsVerb::kWrite, i % 4, 0.0),
+              FaultPlan::FsOutcome::kNone);
+    EXPECT_EQ(plan.nextRmaPayload(), 0.0);
+  }
+  EXPECT_EQ(plan.transientFaultsInjected(), 0);
+  EXPECT_EQ(plan.rmaDropsInjected(), 0);
+}
+
+TEST(FaultPlanTest, SameSeedSameSchedule) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 7;
+  cfg.fs_transient_write_rate = 0.1;
+  cfg.fs_transient_read_rate = 0.05;
+  cfg.rma_drop_rate = 0.2;
+  const auto run = [&cfg] {
+    FaultPlan plan(cfg);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 500; ++i) {
+      const auto verb = i % 2 == 0 ? FaultPlan::FsVerb::kWrite
+                                   : FaultPlan::FsVerb::kRead;
+      outcomes.push_back(
+          static_cast<int>(plan.nextFsRequest(verb, i % 3, 0.0)));
+      outcomes.push_back(plan.nextRmaPayload() > 0 ? 1 : 0);
+    }
+    outcomes.push_back(static_cast<int>(plan.transientFaultsInjected()));
+    outcomes.push_back(static_cast<int>(plan.rmaDropsInjected()));
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultPlanTest, DifferentSeedsDifferentSchedules) {
+  FaultConfig a;
+  a.enabled = true;
+  a.seed = 1;
+  a.fs_transient_write_rate = 0.1;
+  FaultConfig b = a;
+  b.seed = 2;
+  FaultPlan pa(a), pb(b);
+  std::vector<int> oa, ob;
+  for (int i = 0; i < 500; ++i) {
+    oa.push_back(
+        static_cast<int>(pa.nextFsRequest(FaultPlan::FsVerb::kWrite, 0, 0.0)));
+    ob.push_back(
+        static_cast<int>(pb.nextFsRequest(FaultPlan::FsVerb::kWrite, 0, 0.0)));
+  }
+  EXPECT_NE(oa, ob);
+}
+
+TEST(FaultPlanTest, SaltsSeparateLayerStreams) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 5;
+  cfg.fs_transient_write_rate = 0.3;
+  cfg.rma_drop_rate = 0.3;
+  FaultPlan fs_plan(cfg, FaultPlan::kFsSalt);
+  FaultPlan net_plan(cfg, FaultPlan::kNetSalt);
+  std::vector<int> fs_draws, net_draws;
+  for (int i = 0; i < 300; ++i) {
+    fs_draws.push_back(static_cast<int>(
+        fs_plan.nextFsRequest(FaultPlan::FsVerb::kWrite, 0, 0.0)));
+    net_draws.push_back(net_plan.nextRmaPayload() > 0 ? 1 : 0);
+  }
+  // Different salts must give uncorrelated streams, not mirrored ones.
+  std::vector<int> fs_as_hits;
+  for (int v : fs_draws) {
+    fs_as_hits.push_back(
+        v == static_cast<int>(FaultPlan::FsOutcome::kTransient) ? 1 : 0);
+  }
+  EXPECT_NE(fs_as_hits, net_draws);
+}
+
+TEST(FaultPlanTest, PermanentOstFailureIsStickyAndDominates) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.fail_ost = 2;
+  cfg.fail_ost_after_requests = 3;
+  cfg.fs_transient_write_rate = 1.0;  // would fire on every request
+  FaultPlan plan(cfg);
+  // Before the threshold the dead OST still serves (transients may fire).
+  EXPECT_FALSE(plan.ostFailed(2));
+  for (int i = 0; i < 3; ++i) {
+    plan.nextFsRequest(FaultPlan::FsVerb::kWrite, 0, 0.0);
+  }
+  EXPECT_TRUE(plan.ostFailed(2));
+  EXPECT_FALSE(plan.ostFailed(1));
+  // Permanent failure wins over the (certain) transient draw.
+  EXPECT_EQ(plan.nextFsRequest(FaultPlan::FsVerb::kWrite, 2, 0.0),
+            FaultPlan::FsOutcome::kOstFailed);
+  EXPECT_EQ(plan.nextFsRequest(FaultPlan::FsVerb::kRead, 2, 0.0),
+            FaultPlan::FsOutcome::kOstFailed);
+}
+
+TEST(FaultPlanTest, StragglerMultiplierAppliesOnlyToThatOst) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.straggler_ost = 1;
+  cfg.straggler_multiplier = 8.0;
+  FaultPlan plan(cfg);
+  EXPECT_DOUBLE_EQ(plan.serviceMultiplier(1), 8.0);
+  EXPECT_DOUBLE_EQ(plan.serviceMultiplier(0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.serviceMultiplier(2), 1.0);
+}
+
+TEST(FaultPlanTest, ActiveAfterGatesFaults) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.fs_transient_write_rate = 1.0;
+  cfg.active_after = 10.0;
+  FaultPlan plan(cfg);
+  EXPECT_EQ(plan.nextFsRequest(FaultPlan::FsVerb::kWrite, 0, 1.0),
+            FaultPlan::FsOutcome::kNone);
+  EXPECT_EQ(plan.nextFsRequest(FaultPlan::FsVerb::kWrite, 0, 11.0),
+            FaultPlan::FsOutcome::kTransient);
+}
+
+TEST(FaultPlanTest, OneShotWriteShimFiresExactlyOnce) {
+  FaultPlan plan(FaultConfig{});
+  plan.scheduleOneShotWrite(2);
+  EXPECT_FALSE(plan.consumeOneShotWrite());  // call 0
+  EXPECT_FALSE(plan.consumeOneShotWrite());  // call 1
+  EXPECT_TRUE(plan.consumeOneShotWrite());   // call 2 faults
+  EXPECT_FALSE(plan.consumeOneShotWrite());  // consumed
+  EXPECT_FALSE(plan.consumeOneShotWrite());
+}
+
+TEST(FaultPlanTest, RmaDropDelayIsConfigured) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.rma_drop_rate = 1.0;
+  cfg.rma_drop_delay = 3.5e-4;
+  FaultPlan plan(cfg);
+  EXPECT_DOUBLE_EQ(plan.nextRmaPayload(), 3.5e-4);
+  EXPECT_EQ(plan.rmaDropsInjected(), 1);
+}
+
+}  // namespace
+}  // namespace tcio

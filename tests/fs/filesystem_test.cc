@@ -43,12 +43,17 @@ TEST(FilesystemTest, CreateWriteReadBack) {
 
 TEST(FilesystemTest, OpenMissingFileWithoutCreateFails) {
   Filesystem fs(testCfg());
-  EXPECT_THROW(mpi::runJob(job(1),
-                           [&](mpi::Comm& comm) {
-                             FsClient fc(fs, comm.proc());
-                             fc.open("nope.dat", kRead);
-                           }),
-               FsError);
+  // Typed error: FileNotFound (a FsError subclass) carrying the path.
+  try {
+    mpi::runJob(job(1), [&](mpi::Comm& comm) {
+      FsClient fc(fs, comm.proc());
+      fc.open("nope.dat", kRead);
+    });
+    FAIL() << "open of a missing file without kCreate must throw";
+  } catch (const FileNotFound& e) {
+    EXPECT_EQ(e.path, "nope.dat");
+    EXPECT_NE(std::string(e.what()).find("nope.dat"), std::string::npos);
+  }
 }
 
 TEST(FilesystemTest, TruncateClearsContents) {
@@ -212,6 +217,74 @@ TEST(FilesystemTest, InjectedWriteFaultPropagates) {
                              fc.pwrite(f, 8, &v, 4);  // third request faults
                            }),
                FsError);
+}
+
+TEST(FilesystemTest, InjectedWriteFaultIsTransientTyped) {
+  Filesystem fs(testCfg());
+  fs.injectWriteFault(0);
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("typed.dat", kWrite | kCreate);
+    const int v = 1;
+    EXPECT_THROW(fc.pwrite(f, 0, &v, 4), TransientFsError);
+    fc.pwrite(f, 0, &v, 4);  // one-shot: the retry goes through
+    fc.close(f);
+  });
+}
+
+TEST(FilesystemTest, RetryPolicyAbsorbsTransientFaults) {
+  Filesystem fs(testCfg());
+  fs.injectWriteFault(0);
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    fc.setRetryPolicy(retry);
+    FsFile f = fc.open("retry.dat", kRead | kWrite | kCreate);
+    const int v = 42;
+    const SimTime before = comm.proc().now();
+    fc.pwrite(f, 0, &v, 4);  // first attempt faults, retry succeeds
+    EXPECT_GT(comm.proc().now(), before);  // backoff charged to sim time
+    EXPECT_EQ(fc.retryStats().transient_faults, 1);
+    EXPECT_EQ(fc.retryStats().retries, 1);
+    EXPECT_EQ(fc.retryStats().giveups, 0);
+    int out = 0;
+    fc.pread(f, 0, &out, 4);
+    EXPECT_EQ(out, 42);
+    fc.close(f);
+  });
+}
+
+TEST(FilesystemTest, PermanentOstFailureRemapsToSurvivors) {
+  Filesystem fs(testCfg());
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.fail_ost = 0;
+  fault.fail_ost_after_requests = 0;  // dead from the first request
+  fs.installFaultPlan(fault);
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    // stripe over all 4 OSTs so offset 0 lands on the dead OST 0.
+    FsFile f = fc.open("dead.dat", kRead | kWrite | kCreate,
+                       /*stripe_count=*/4);
+    std::vector<int> data(1024, 7);
+    const Bytes n = static_cast<Bytes>(data.size() * sizeof(int));
+    try {
+      fc.pwrite(f, 0, data.data(), n);
+      FAIL() << "write touching the dead OST must throw";
+    } catch (const OstFailedError& e) {
+      EXPECT_EQ(e.ost, 0);
+    }
+    // Degraded mode: remap the dead OST's chunks, then the write goes
+    // through and reads back intact.
+    EXPECT_GT(fc.remapFailedChunks(f, 0, n), 0);
+    fc.pwrite(f, 0, data.data(), n);
+    std::vector<int> out(data.size(), 0);
+    fc.pread(f, 0, out.data(), n);
+    EXPECT_EQ(out, data);
+    fc.close(f);
+  });
+  EXPECT_GT(fs.stats().chunks_remapped, 0);
 }
 
 TEST(FilesystemTest, StatsTrackRequests) {

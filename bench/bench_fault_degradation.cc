@@ -4,9 +4,12 @@
 // virtual time).
 //
 // Reported per rate: write bandwidth, overhead vs the healthy run, injected
-// faults, retry cycles, and giveups. Acceptance: every rate produces a
+// faults, retry cycles, and giveups — plus the same run under the crash-
+// tolerance protocol with the write-ahead journal on and off, isolating
+// what the journal device costs. Acceptance: every rate produces a
 // byte-identical file (CRC equal to the healthy run's) with zero retry
-// giveups — degradation costs time, never correctness.
+// giveups — degradation costs time, never correctness — and the journal
+// adds < 10% to the healthy (0% fault) makespan.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -32,12 +35,22 @@ std::byte pattern(Offset off, int rank) {
   return static_cast<std::byte>((rank * 31 + off * 5) % 251);
 }
 
-Sample measure(int P, double rate, std::uint64_t seed) {
+enum class Protocol {
+  kPlain,       // no crash tolerance (the PR-2 behavior)
+  kCrashNoWal,  // liveness agreement at collectives, journal off
+  kCrashWal,    // liveness agreement + write-ahead journal (full protocol)
+};
+
+Sample measure(int P, double rate, std::uint64_t seed, Protocol proto) {
   fs::Filesystem fsys(paperFs());
   mpi::JobConfig job = paperJob(P);
 
   core::TcioConfig cfg = paperTcio();
   cfg.segments_per_rank = 16;
+  if (proto != Protocol::kPlain) {
+    cfg.crash.enabled = true;
+    cfg.crash.journal = proto == Protocol::kCrashWal;
+  }
   if (rate > 0) {
     cfg.faults.enabled = true;
     cfg.faults.seed = seed;
@@ -101,30 +114,41 @@ int main() {
   const auto seed = static_cast<std::uint64_t>(envInt64("TCIO_FAULT_SEED", 1));
 
   Table t("fault.degradation");
-  t.header({"fault rate", "BW MB/s", "overhead %", "faults", "retries",
-            "giveups"});
+  t.header({"fault rate", "BW MB/s", "overhead %", "BW wal-off", "BW wal-on",
+            "wal ovh %", "faults", "retries", "giveups"});
   bool crc_ok = true;
   bool no_giveups = true;
+  double wal_overhead_at_zero = 0;
   SimTime healthy = 0;
   std::uint32_t healthy_crc = 0;
   for (const double rate : {0.0, 0.001, 0.01}) {
-    const Sample s = measure(P, rate, seed);
+    const Sample s = measure(P, rate, seed, Protocol::kPlain);
+    const Sample nw = measure(P, rate, seed, Protocol::kCrashNoWal);
+    const Sample w = measure(P, rate, seed, Protocol::kCrashWal);
     if (rate == 0.0) {
       healthy = s.makespan;
       healthy_crc = s.crc;
     }
-    crc_ok = crc_ok && s.crc == healthy_crc;
-    no_giveups = no_giveups && s.giveups == 0;
+    crc_ok = crc_ok && s.crc == healthy_crc && nw.crc == healthy_crc &&
+             w.crc == healthy_crc;
+    no_giveups = no_giveups && s.giveups == 0 && w.giveups == 0;
+    // Journal overhead: WAL on vs off under the same (crash-tolerant)
+    // protocol, so the liveness rounds cancel out of the comparison.
+    const double wal_ovh = (w.makespan / nw.makespan - 1.0) * 100.0;
+    if (rate == 0.0) wal_overhead_at_zero = wal_ovh;
     t.row({formatDouble(rate * 100.0, 1) + "%",
            formatDouble(s.bandwidth_mbs, 2),
            formatDouble((s.makespan / healthy - 1.0) * 100.0, 3),
-           std::to_string(s.transient_faults), std::to_string(s.retries),
-           std::to_string(s.giveups)});
+           formatDouble(nw.bandwidth_mbs, 2), formatDouble(w.bandwidth_mbs, 2),
+           formatDouble(wal_ovh, 3), std::to_string(s.transient_faults),
+           std::to_string(s.retries), std::to_string(s.giveups)});
   }
   t.print(std::cout);
-  const bool pass = crc_ok && no_giveups;
+  const bool wal_cheap = wal_overhead_at_zero < 10.0;
+  const bool pass = crc_ok && no_giveups && wal_cheap;
   std::printf(
-      "acceptance (byte-identical at every fault rate, zero giveups): %s\n",
-      pass ? "PASS" : "FAIL");
+      "acceptance (byte-identical at every fault rate, zero giveups, "
+      "journal overhead %.3f%% < 10%% at 0%% faults): %s\n",
+      wal_overhead_at_zero, pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

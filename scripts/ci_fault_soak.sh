@@ -1,9 +1,11 @@
 #!/bin/bash
-# Fault-schedule soak: runs the cross-layer fault matrix across many fault
-# seeds. Every schedule must converge (same outcome on every rank, byte-
-# identical completions) — a hang on any seed is a collective-agreement bug,
-# so each ctest invocation runs under a wall-clock timeout and a timeout is
-# reported as HANG, not lumped in with assertion failures.
+# Fault-schedule soak: runs the cross-layer fault matrix AND the fail-stop
+# crash matrix across many fault seeds. Every schedule must converge (same
+# outcome on every rank, byte-identical completions, survivors complete
+# around crashed peers) — a hang on any seed is a collective-agreement or
+# liveness-protocol bug, so each ctest invocation runs under a wall-clock
+# timeout and a timeout is reported as HANG, not lumped in with assertion
+# failures.
 #
 #   TCIO_FAULT_SEEDS    number of seeds to sweep (default 20)
 #   TCIO_SOAK_TIMEOUT   per-seed wall-clock limit in seconds (default 300)
@@ -22,7 +24,8 @@ hangs=0
 for ((seed = 1; seed <= SEEDS; seed++)); do
   rc=0
   TCIO_FAULT_SEED=$seed timeout "$LIMIT" \
-    ctest --test-dir "$BUILD" --output-on-failure -R 'TcioFaultMatrix' \
+    ctest --test-dir "$BUILD" --output-on-failure \
+    -R 'TcioFaultMatrix|TcioCrashMatrix|TcioCrashRecovery' \
     >"/tmp/fault_soak_$seed.log" 2>&1 || rc=$?
   if [ "$rc" -eq 0 ]; then
     echo "seed $seed: PASS"

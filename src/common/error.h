@@ -61,6 +61,18 @@ class TransientFsError : public FsError {
   using FsError::FsError;
 };
 
+/// A transient fault survived every configured retry attempt. Derives from
+/// TransientFsError so callers that treat "still transient after retry" the
+/// same as "transient without retry" keep working, while carrying the
+/// attempt count for precise assertions.
+class RetryExhaustedError : public TransientFsError {
+ public:
+  RetryExhaustedError(const std::string& what, int attempts_made)
+      : TransientFsError(what), attempts(attempts_made) {}
+
+  int attempts;
+};
+
 /// ENOSPC-like failure: the OST rejected a write for lack of space. Permanent
 /// for the purposes of retry — surfacing it to the application is the only
 /// correct move.
@@ -85,6 +97,18 @@ class OstFailedError : public FsError {
 class MpiError : public Error {
  public:
   using Error::Error;
+};
+
+/// A fail-stop rank crash. Thrown inside the crashing rank to unwind it out
+/// of the user program (the rank stops participating entirely), and on
+/// surviving ranks when liveness agreement declares a peer dead but local
+/// work cannot continue without it. Carries the crashed rank.
+class RankCrashedError : public Error {
+ public:
+  RankCrashedError(const std::string& what, int crashed_rank)
+      : Error(what), rank(crashed_rank) {}
+
+  int rank;
 };
 
 /// The discrete-event engine detected that every rank is blocked — the

@@ -13,6 +13,8 @@ FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint64_t salt)
   TCIO_CHECK(cfg_.fs_no_space_rate >= 0 && cfg_.fs_no_space_rate <= 1);
   TCIO_CHECK(cfg_.rma_drop_rate >= 0 && cfg_.rma_drop_rate <= 1);
   TCIO_CHECK(cfg_.rma_drop_delay >= 0);
+  TCIO_CHECK(cfg_.mds_open_fail_rate >= 0 && cfg_.mds_open_fail_rate <= 1);
+  TCIO_CHECK(cfg_.mds_close_fail_rate >= 0 && cfg_.mds_close_fail_rate <= 1);
 }
 
 FaultPlan::FsOutcome FaultPlan::nextFsRequest(FsVerb verb, int ost,
@@ -41,6 +43,45 @@ SimTime FaultPlan::nextRmaPayload() {
   if (rng_.uniform() >= cfg_.rma_drop_rate) return 0;
   ++rma_drops_;
   return cfg_.rma_drop_delay;
+}
+
+bool FaultPlan::nextMdsOp(MdsVerb verb) {
+  const double rate = verb == MdsVerb::kOpen ? cfg_.mds_open_fail_rate
+                                             : cfg_.mds_close_fail_rate;
+  if (rate <= 0) return false;
+  if (rng_.uniform() >= rate) return false;
+  ++mds_faults_;
+  return true;
+}
+
+CrashPlan::CrashPlan(const FaultConfig& cfg, Rank rank)
+    // Salt by rank so torn-byte draws differ across ranks but reproduce
+    // exactly for a given (seed, rank).
+    : rng_(cfg.seed ^ (0x6372617368ULL + static_cast<std::uint64_t>(rank))) {
+  for (const CrashSchedule& s : cfg.crashes) {
+    if (s.rank != rank) continue;
+    TCIO_CHECK_MSG(s.after >= 0, "crash schedule occurrence must be >= 0");
+    arms_.push_back({s.point, s.after});
+  }
+  armed_ = !arms_.empty();
+}
+
+bool CrashPlan::fires(CrashPoint point) {
+  if (!armed_ || crashed_) return false;
+  for (Arm& a : arms_) {
+    if (a.point != point) continue;
+    if (a.seen++ == a.after) {
+      crashed_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t CrashPlan::tornBytes(std::int64_t len) {
+  if (len <= 0) return 0;
+  return static_cast<std::int64_t>(rng_.uniform() * static_cast<double>(len)) %
+         len;
 }
 
 }  // namespace tcio

@@ -16,11 +16,31 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
 
 namespace tcio {
+
+/// Where in TCIO's collective life cycle a scheduled fail-stop crash fires.
+/// The points are *semantic* (nth collective entry, mid-RMA flush, mid
+/// journal append, mid drain at close) rather than wall-clock, so the same
+/// schedule reproduces the same crash on every run.
+enum class CrashPoint {
+  kAtCollective,  // on entering the nth TCIO collective (flush/fetch/close)
+  kMidRma,        // after level-1 state is built but before its RMA epoch
+  kMidJournal,    // mid journal append: a torn record is left behind
+  kMidClose,      // during the close-time drain, between segment writes
+};
+
+/// One scheduled fail-stop crash: rank `rank` dies at the `after`-th
+/// occurrence (0-based) of `point` on that rank.
+struct CrashSchedule {
+  Rank rank = -1;
+  CrashPoint point = CrashPoint::kAtCollective;
+  std::int64_t after = 0;
+};
 
 /// What faults to inject, and when. All rates are per-request probabilities
 /// in [0, 1]; counters/times gate when a fault class becomes active.
@@ -54,11 +74,29 @@ struct FaultConfig {
   int fail_ost = -1;
   std::int64_t fail_ost_after_requests = 0;
 
+  /// OST recovery: once the plan has seen this many total OST requests, a
+  /// permanently failed OST comes back (failover pair rejoined) and
+  /// previously remapped chunks may be rebalanced home. -1 = never recovers.
+  std::int64_t recover_ost_after_requests = -1;
+
   /// Straggler OST: service durations on `straggler_ost` are multiplied by
   /// `straggler_multiplier` (a slow disk / degraded RAID path, not an
   /// error). <= 1 or -1 disables.
   int straggler_ost = -1;
   double straggler_multiplier = 1.0;
+
+  // -- Metadata server --------------------------------------------------------
+  /// Probability that one MDS open/close RPC fails with a retriable
+  /// `TransientFsError` (FsClient's open/close retry loops absorb these).
+  double mds_open_fail_rate = 0.0;
+  double mds_close_fail_rate = 0.0;
+
+  // -- Fail-stop crashes ------------------------------------------------------
+  /// Scheduled fail-stop rank crashes (see CrashSchedule). A crashed rank
+  /// unwinds out of the user program via `RankCrashedError` and never calls
+  /// another collective; survivors detect the silence through the liveness
+  /// protocol (mpi/liveness.h) and shrink around it.
+  std::vector<CrashSchedule> crashes;
 
   // -- Network / RMA layer ----------------------------------------------------
   /// Probability that one RMA payload (put payload / get reply) is dropped
@@ -99,6 +137,7 @@ class FaultPlan {
 
   enum class FsVerb { kWrite, kRead };
   enum class FsOutcome { kNone, kTransient, kNoSpace, kOstFailed };
+  enum class MdsVerb { kOpen, kClose };
 
   /// Called once per OST request (in virtual-time order); advances the
   /// request counter, draws the scheduled fault for this request, and
@@ -107,11 +146,21 @@ class FaultPlan {
   FsOutcome nextFsRequest(FsVerb verb, int ost, SimTime t);
 
   /// True once `ost` has permanently failed (request counter crossed the
-  /// configured threshold).
+  /// configured threshold) and has not yet recovered.
   bool ostFailed(int ost) const {
     return cfg_.fail_ost >= 0 && ost == cfg_.fail_ost &&
-           fs_requests_ >= cfg_.fail_ost_after_requests;
+           fs_requests_ >= cfg_.fail_ost_after_requests && !ostRecovered();
   }
+
+  /// True once the failed OST has come back (recovery threshold crossed).
+  bool ostRecovered() const {
+    return cfg_.recover_ost_after_requests >= 0 &&
+           fs_requests_ >= cfg_.recover_ost_after_requests;
+  }
+
+  /// Called once per MDS open/close RPC; true when this RPC faults with a
+  /// retriable TransientFsError.
+  bool nextMdsOp(MdsVerb verb);
 
   /// Service-duration multiplier for `ost` (straggler model; 1.0 = nominal).
   double serviceMultiplier(int ost) const {
@@ -146,6 +195,7 @@ class FaultPlan {
   std::int64_t transientFaultsInjected() const { return transients_; }
   std::int64_t noSpaceFaultsInjected() const { return no_space_; }
   std::int64_t rmaDropsInjected() const { return rma_drops_; }
+  std::int64_t mdsFaultsInjected() const { return mds_faults_; }
 
  private:
   FaultConfig cfg_;
@@ -155,6 +205,40 @@ class FaultPlan {
   std::int64_t transients_ = 0;
   std::int64_t no_space_ = 0;
   std::int64_t rma_drops_ = 0;
+  std::int64_t mds_faults_ = 0;
+};
+
+/// Per-rank view of the crash schedule. Each TCIO rank owns one; the File
+/// layer advances the counters at the matching life-cycle points and raises
+/// `RankCrashedError` when a scheduled crash fires. Separate from FaultPlan
+/// because crash points are per-rank program positions, not shared
+/// virtual-time events — no RNG, fully deterministic from the config.
+class CrashPlan {
+ public:
+  CrashPlan(const FaultConfig& cfg, Rank rank);
+
+  /// True when any crash is scheduled for this rank (cheap gate).
+  bool armed() const { return armed_; }
+
+  /// Advance the counter for `point`; returns true exactly once, when the
+  /// scheduled occurrence is reached. The caller then unwinds the rank.
+  bool fires(CrashPoint point);
+
+  /// Torn-write model: how many bytes of an `len`-byte journal record make
+  /// it to the platter when the rank dies mid-append. Drawn from a seeded
+  /// stream (deterministic per rank); always in [0, len).
+  std::int64_t tornBytes(std::int64_t len);
+
+ private:
+  struct Arm {
+    CrashPoint point;
+    std::int64_t after;   // scheduled occurrence (0-based)
+    std::int64_t seen = 0;
+  };
+  std::vector<Arm> arms_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  Rng rng_;
 };
 
 }  // namespace tcio

@@ -46,14 +46,23 @@ class FsClient {
 
   /// Opens `name` with OpenFlags; `stripe_count` 0 = file system default.
   /// Throws FileNotFound when `name` does not exist and kCreate is unset.
+  /// Transient MDS faults are absorbed by the retry policy like pwrite's.
   FsFile open(const std::string& name, unsigned flags, int stripe_count = 0);
 
   /// pwrite/pread absorb TransientFsError up to the retry policy's attempt
   /// budget, charging a jittered exponential backoff to this rank's virtual
   /// clock between attempts. Permanent fault classes (NoSpaceError,
-  /// OstFailedError) are never retried and surface immediately.
+  /// OstFailedError) are never retried and surface immediately. When a
+  /// multi-attempt retry budget is exhausted, the typed
+  /// `RetryExhaustedError` (a TransientFsError) rises, carrying the attempt
+  /// count; with retry disabled (max_attempts == 1) the original error
+  /// surfaces unchanged.
   void pwrite(FsFile& f, Offset off, const void* data, Bytes n);
   void pread(FsFile& f, Offset off, void* out, Bytes n);
+
+  /// Write-ahead journal append (see Filesystem::journalWrite): sequential
+  /// write to the journal device, no OST queues/locks/fault injection.
+  void appendJournal(FsFile& f, Offset off, const void* data, Bytes n);
 
   /// Current file size (cheap metadata query).
   Bytes size(const FsFile& f) const;

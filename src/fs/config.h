@@ -48,6 +48,14 @@ struct FsConfig {
 
   /// Metadata server: cost of an open/create or close.
   SimTime mds_open = 1.0e-3;
+
+  /// Write-ahead journal device: sequential append bandwidth and per-record
+  /// latency. Journal appends bypass the OST queues and extent locks — the
+  /// model is a node-local intent log (NVMe / flash tier) whose contents
+  /// remain globally readable for crash recovery. Sized so that journaling
+  /// every level-2 flush costs well under the striped OST write path.
+  double journal_bandwidth = 2.0e9;
+  SimTime journal_latency = 20.0e-6;
 };
 
 }  // namespace tcio::fs

@@ -34,6 +34,7 @@ Filesystem::OpenResult Filesystem::open(int client, SimTime t,
                                         unsigned flags, int stripe_count) {
   (void)client;
   ++stats_.opens;
+  maybeMdsFault(FaultPlan::MdsVerb::kOpen, name);
   const auto it = names_.find(name);
   int inode;
   if (it == names_.end()) {
@@ -98,7 +99,7 @@ SimTime Filesystem::write(int client, SimTime t, int inode, Offset off,
   if (plan_ != nullptr && plan_->consumeOneShotWrite()) {
     throw TransientFsError("injected write fault on " + ino.name);
   }
-  SimTime done = t;
+  SimTime done = maybeRebalance(t, ino);
   forEachOstRun(ino, off, n, [&](int ost, Offset roff, Bytes rlen) {
     ++stats_.write_requests;
     maybeFault(FaultPlan::FsVerb::kWrite, ost, t, ino);
@@ -128,7 +129,7 @@ SimTime Filesystem::read(int client, SimTime t, int inode, Offset off,
   Inode& ino = inodeAt(inode);
   const Bytes n = static_cast<Bytes>(out.size());
   if (n == 0) return t;
-  SimTime done = t;
+  SimTime done = maybeRebalance(t, ino);
   forEachOstRun(ino, off, n, [&](int ost, Offset roff, Bytes rlen) {
     ++stats_.read_requests;
     maybeFault(FaultPlan::FsVerb::kRead, ost, t, ino);
@@ -159,9 +160,24 @@ SimTime Filesystem::read(int client, SimTime t, int inode, Offset off,
 
 SimTime Filesystem::close(int client, SimTime t, int inode) {
   (void)client;
-  inodeAt(inode);  // validity check
+  Inode& ino = inodeAt(inode);  // validity check
+  maybeMdsFault(FaultPlan::MdsVerb::kClose, ino.name);
   return mds_.serveDuration(t + cfg_.rpc_latency, cfg_.mds_open / 4) +
          cfg_.rpc_latency;
+}
+
+SimTime Filesystem::journalWrite(int client, SimTime t, int inode, Offset off,
+                                 std::span<const std::byte> data) {
+  Inode& ino = inodeAt(inode);
+  const Bytes n = static_cast<Bytes>(data.size());
+  if (n == 0) return t;
+  ++stats_.journal_writes;
+  stats_.journal_bytes += n;
+  const SimTime end =
+      t + cfg_.journal_latency + static_cast<double>(n) / cfg_.journal_bandwidth;
+  if (trace_ != nullptr) trace_->record(client, t, end, "fs.journal", n);
+  ino.store.write(off, data);
+  return end;
 }
 
 Bytes Filesystem::fileSize(int inode) const { return inodeAt(inode).store.size(); }
@@ -219,6 +235,46 @@ void Filesystem::maybeFault(FaultPlan::FsVerb verb, int ost, SimTime t,
                                " failed permanently serving " + ino.name,
                            ost);
   }
+}
+
+void Filesystem::maybeMdsFault(FaultPlan::MdsVerb verb,
+                               const std::string& name) {
+  if (plan_ == nullptr) return;
+  if (!plan_->nextMdsOp(verb)) return;
+  throw TransientFsError(
+      std::string("mds ") +
+      (verb == FaultPlan::MdsVerb::kOpen ? "open" : "close") +
+      " fault on " + name);
+}
+
+SimTime Filesystem::maybeRebalance(SimTime t, Inode& ino) {
+  if (plan_ == nullptr || ino.remap.empty() || !plan_->ostRecovered()) {
+    return t;
+  }
+  // The failed OST came back: drop every remap override whose home
+  // (striping-layout) OST is the recovered one, so reads and writes route
+  // there again. Chunks whose data only exists on the remap target keep the
+  // override — the store holds one logical copy, so in this model a restripe
+  // is purely a layout update.
+  const int recovered = plan_->config().fail_ost;
+  std::int64_t moved = 0;
+  for (auto it = ino.remap.begin(); it != ino.remap.end();) {
+    const std::int64_t chunk = it->first;
+    const int home =
+        (ino.start_ost + static_cast<int>(chunk % ino.stripe_count)) %
+        cfg_.num_osts;
+    if (home == recovered) {
+      it = ino.remap.erase(it);
+      ++moved;
+    } else {
+      ++it;
+    }
+  }
+  if (moved == 0) return t;
+  stats_.chunks_rebalanced += moved;
+  // Layout update: one MDS op, like the failover restripe that created it.
+  return mds_.serveDuration(t + cfg_.rpc_latency, cfg_.mds_open) +
+         cfg_.rpc_latency;
 }
 
 Filesystem::RemapResult Filesystem::remapChunks(int client, SimTime t,

@@ -43,7 +43,13 @@ struct FsStats {
   /// Injected-fault accounting (0 when no FaultPlan is installed).
   std::int64_t transient_faults_injected = 0;
   std::int64_t no_space_faults_injected = 0;
+  std::int64_t mds_faults_injected = 0;
   std::int64_t chunks_remapped = 0;
+  /// Chunks moved back to their home OST after it recovered.
+  std::int64_t chunks_rebalanced = 0;
+  /// Journal-device accounting (write-ahead log appends).
+  std::int64_t journal_writes = 0;
+  Bytes journal_bytes = 0;
 };
 
 /// Shared file system state + cost model.
@@ -71,6 +77,13 @@ class Filesystem {
                std::span<std::byte> out);
   SimTime close(int client, SimTime t, int inode);
 
+  /// Write-ahead journal append: sequential write to the journal device
+  /// (FsConfig::journal_bandwidth), bypassing OST queues, extent locks, and
+  /// OST fault injection — the model is a node-local intent log whose bytes
+  /// stay globally readable after a crash (peek / read serve recovery).
+  SimTime journalWrite(int client, SimTime t, int inode, Offset off,
+                       std::span<const std::byte> data);
+
   /// File size in bytes (costless metadata peek for the layers above).
   Bytes fileSize(int inode) const;
 
@@ -92,6 +105,7 @@ class Filesystem {
     if (plan_ != nullptr) {
       s.transient_faults_injected = plan_->transientFaultsInjected();
       s.no_space_faults_injected = plan_->noSpaceFaultsInjected();
+      s.mds_faults_injected = plan_->mdsFaultsInjected();
     }
     return s;
   }
@@ -157,6 +171,15 @@ class Filesystem {
   /// error, if any. No-op without a plan.
   void maybeFault(FaultPlan::FsVerb verb, int ost, SimTime t,
                   const Inode& ino);
+
+  /// Consults the plan for one MDS RPC; throws TransientFsError when the
+  /// RPC faults (FsClient's open/close retry loops absorb it).
+  void maybeMdsFault(FaultPlan::MdsVerb verb, const std::string& name);
+
+  /// Moves remapped chunks back to their home OST once it has recovered
+  /// (FaultPlan::ostRecovered). Called lazily from the costed paths; charges
+  /// one MDS op when anything moved and returns its completion time (or `t`).
+  SimTime maybeRebalance(SimTime t, Inode& ino);
 
   Inode& inodeAt(int inode);
   const Inode& inodeAt(int inode) const;

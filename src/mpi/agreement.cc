@@ -6,12 +6,16 @@ namespace tcio::mpi {
 
 void CapturedError::capture(const std::exception& e) {
   what = e.what();
-  if (dynamic_cast<const OstFailedError*>(&e) != nullptr) {
+  if (dynamic_cast<const RankCrashedError*>(&e) != nullptr) {
+    code = kRankCrashed;
+  } else if (dynamic_cast<const OstFailedError*>(&e) != nullptr) {
     code = kOstFailed;
   } else if (dynamic_cast<const NoSpaceError*>(&e) != nullptr) {
     code = kNoSpace;
   } else if (dynamic_cast<const FileNotFound*>(&e) != nullptr) {
     code = kFileNotFound;
+  } else if (dynamic_cast<const RetryExhaustedError*>(&e) != nullptr) {
+    code = kRetryExhausted;
   } else if (dynamic_cast<const TransientFsError*>(&e) != nullptr) {
     code = kTransientFs;
   } else if (dynamic_cast<const FsError*>(&e) != nullptr) {
@@ -46,12 +50,16 @@ void agreeOnError(Comm& comm, const CapturedError& local) {
 
 void throwTyped(std::int32_t code, const std::string& what) {
   switch (code) {
+    case CapturedError::kRankCrashed:
+      throw RankCrashedError(what, /*crashed_rank=*/-1);
     case CapturedError::kOstFailed:
       throw OstFailedError(what, /*failed_ost=*/-1);
     case CapturedError::kNoSpace:
       throw NoSpaceError(what);
     case CapturedError::kFileNotFound:
       throw FileNotFound(FileNotFound::Formatted{}, what);
+    case CapturedError::kRetryExhausted:
+      throw RetryExhaustedError(what, /*attempts_made=*/0);
     case CapturedError::kTransientFs:
       throw TransientFsError(what);
     case CapturedError::kFs:

@@ -33,13 +33,15 @@ namespace tcio::mpi {
 struct CapturedError {
   enum Code : std::int32_t {
     kNone = 0,
-    kGeneric = 1,      // tcio::Error or any std::exception
-    kFs = 2,           // generic FsError
-    kTransientFs = 3,  // retryable EIO
-    kNoSpace = 4,      // ENOSPC
-    kFileNotFound = 5,
-    kOstFailed = 6,    // permanent OST death
-    kOutOfMemory = 7,  // budget exceeded — a config error, always wins
+    kGeneric = 1,         // tcio::Error or any std::exception
+    kFs = 2,              // generic FsError
+    kTransientFs = 3,     // retryable EIO
+    kRetryExhausted = 4,  // transient fault survived every retry attempt
+    kNoSpace = 5,         // ENOSPC
+    kFileNotFound = 6,
+    kOstFailed = 7,     // permanent OST death
+    kRankCrashed = 8,   // fail-stop peer crash (liveness protocol verdict)
+    kOutOfMemory = 9,   // budget exceeded — a config error, always wins
   };
 
   std::int32_t code = kNone;

@@ -130,6 +130,55 @@ Request Comm::irecv(void* buf, Bytes capacity, Rank src, int tag) {
   return Request(std::move(st));
 }
 
+bool Comm::recvUntil(void* buf, Bytes capacity, Rank src, int tag,
+                     SimTime deadline, SimTime poll, RecvStatus* out) {
+  TCIO_CHECK_MSG(poll > 0, "recvUntil needs a positive poll quantum");
+  sim::Proc& p = *proc_;
+  auto pr = std::make_shared<detail::PendingRecv>();
+  pr->want_src = src;
+  pr->want_tag = tag;
+  pr->context = context_;
+  pr->buf = static_cast<std::byte*>(buf);
+  pr->capacity = capacity;
+  p.atomic([&] { postRecvLocked(*world_, p, p.rank(), pr); });
+  // Poll the completion event in virtual-time steps instead of blocking:
+  // a blocking wait on a message from a crashed rank would trip the
+  // engine's deadlock detector; this failure-detector loop gives up at the
+  // deadline instead. Polls are atomic sections, so the schedule stays in
+  // global virtual-time order (deterministic).
+  for (;;) {
+    const bool ready = p.atomic([&] { return pr->ev.ready(); });
+    if (ready) {
+      p.advanceTo(pr->ev.time());
+      if (out != nullptr) *out = {pr->src, pr->tag, pr->received};
+      return true;
+    }
+    if (p.now() >= deadline) break;
+    p.advance(std::min(poll, deadline - p.now()));
+  }
+  // Timed out. Cancel the posted receive under the same atomic that takes
+  // the final look — otherwise a late sender could memcpy into a buffer the
+  // caller is about to abandon.
+  const bool matched_late = p.atomic([&] {
+    if (pr->ev.ready()) return true;
+    detail::Mailbox& mb = world_->mailbox(p.rank());
+    for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+      if (it->get() == pr.get()) {
+        mb.posted.erase(it);
+        return false;
+      }
+    }
+    TCIO_CHECK_MSG(false, "recvUntil: pending receive neither ready nor posted");
+    return false;
+  });
+  if (matched_late) {
+    p.advanceTo(pr->ev.time());
+    if (out != nullptr) *out = {pr->src, pr->tag, pr->received};
+    return true;
+  }
+  return false;
+}
+
 RecvStatus Comm::wait(Request& req) {
   TCIO_CHECK_MSG(req.valid(), "wait on an empty Request");
   detail::ReqState& st = *req.state_;
@@ -197,6 +246,24 @@ Comm Comm::split(int color, int key) {
   TCIO_CHECK(my_new_rank >= 0);
   return Comm(*world_, *proc_, std::move(group), my_new_rank,
               base + color_index);
+}
+
+Comm Comm::shrink(const std::vector<Rank>& survivors, int context) const {
+  TCIO_CHECK_MSG(!survivors.empty(), "shrink to an empty communicator");
+  std::vector<Rank> group;
+  group.reserve(survivors.size());
+  Rank my_new_rank = -1;
+  Rank prev = -1;
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    const Rank r = survivors[i];
+    TCIO_CHECK_MSG(r > prev && r >= 0 && r < size_,
+                   "shrink survivors must be ascending ranks of this comm");
+    prev = r;
+    group.push_back(worldRank(r));
+    if (r == rank_) my_new_rank = static_cast<Rank>(i);
+  }
+  TCIO_CHECK_MSG(my_new_rank >= 0, "shrink caller must be a survivor");
+  return Comm(*world_, *proc_, std::move(group), my_new_rank, context);
 }
 
 int Comm::nodeOf(Rank r) const {

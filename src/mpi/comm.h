@@ -77,6 +77,15 @@ class Comm {
   Request isend(const void* buf, Bytes n, Rank dst, int tag);
   Request irecv(void* buf, Bytes capacity, Rank src, int tag);
 
+  /// Receive with a virtual-time deadline: blocks until a matching message
+  /// arrives or this rank's clock reaches `deadline`. On success returns
+  /// true and fills `out` like recv; on timeout returns false after
+  /// cancelling the posted receive (no dangling buffer is left behind).
+  /// Polls in `poll`-sized virtual-time steps — the liveness protocol's
+  /// failure-detector primitive.
+  bool recvUntil(void* buf, Bytes capacity, Rank src, int tag,
+                 SimTime deadline, SimTime poll, RecvStatus* out = nullptr);
+
   /// Combined send+receive without deadlock (MPI_Sendrecv).
   RecvStatus sendrecv(const void* sendbuf, Bytes send_n, Rank dst,
                       int send_tag, void* recvbuf, Bytes recv_cap, Rank src,
@@ -163,6 +172,19 @@ class Comm {
 
   /// Number of window-create calls so far (identifies windows collectively).
   std::size_t nextWindowSeq() { return win_seq_++; }
+
+  /// Reserve a block of `n` consecutive context ids. NOT collective: exactly
+  /// one rank calls it and broadcasts the base over an existing channel.
+  /// Used to pre-allocate shrink contexts while every rank is still alive.
+  int reserveContexts(int n) { return world_->allocateContexts(n); }
+
+  /// Build the communicator of `survivors` (ranks of *this* communicator,
+  /// ascending, must include the caller) on the pre-reserved `context`.
+  /// NOT collective over this comm — dead ranks never call it; every
+  /// survivor must call it with identical arguments (the liveness protocol
+  /// guarantees an identical dead set). Collective-tag and window counters
+  /// start fresh, so survivors stay in lockstep on the new comm.
+  Comm shrink(const std::vector<Rank>& survivors, int context) const;
 
  private:
   void reduceBytes(void* data, Bytes n,

@@ -1,0 +1,141 @@
+#include "mpi/liveness.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "mpi/world.h"
+
+namespace tcio::mpi {
+
+namespace {
+
+/// Liveness tags live above the collective tag block (which tops out at
+/// kInternalTagBase + 2^22 - 1): base + 2^23 + epoch*4 + round.
+constexpr int kLivenessTagBase = kInternalTagBase + (1 << 23);
+
+int livenessTag(int epoch, int round) {
+  return kLivenessTagBase + (epoch % (1 << 20)) * 4 + round;
+}
+
+struct VoteMsg {
+  std::int32_t epoch = 0;
+  std::int32_t code = 0;
+};
+
+struct VerdictMsg {
+  std::int32_t epoch = 0;
+  std::int32_t code = 0;
+  std::uint64_t suspects = 0;  // bit r set = sender suspects rank r
+  char what[160] = {};
+};
+
+}  // namespace
+
+std::vector<Rank> LivenessOutcome::survivors(int comm_size) const {
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(comm_size));
+  std::size_t di = 0;
+  for (Rank r = 0; r < comm_size; ++r) {
+    if (di < dead.size() && dead[di] == r) {
+      ++di;
+      continue;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+LivenessOutcome agreeWithLiveness(Comm& comm, const CapturedError& local,
+                                  int epoch, SimTime window, SimTime poll) {
+  const int P = comm.size();
+  const Rank me = comm.rank();
+  TCIO_CHECK_MSG(P <= 64, "liveness agreement supports at most 64 ranks");
+  TCIO_CHECK_MSG(window > 0 && poll > 0, "liveness window/poll must be > 0");
+
+  LivenessOutcome out;
+  out.code = local.code;
+  std::int32_t best_code = local.code;
+  Rank best_owner = me;
+  std::string best_what = local.what;
+
+  // -- Round 1: vote ----------------------------------------------------------
+  const int tag_vote = livenessTag(epoch, 0);
+  VoteMsg vote{static_cast<std::int32_t>(epoch), local.code};
+  {
+    std::vector<Request> sends;
+    sends.reserve(static_cast<std::size_t>(P));
+    for (Rank r = 0; r < P; ++r) {
+      if (r == me) continue;
+      sends.push_back(comm.isend(&vote, sizeof(vote), r, tag_vote));
+    }
+    comm.waitAll(sends);
+  }
+  std::uint64_t suspects = 0;
+  const SimTime vote_deadline = comm.proc().now() + window;
+  for (Rank r = 0; r < P; ++r) {
+    if (r == me) continue;
+    VoteMsg in;
+    if (comm.recvUntil(&in, sizeof(in), r, tag_vote, vote_deadline, poll)) {
+      TCIO_CHECK_MSG(in.epoch == epoch, "liveness vote from a stale epoch");
+      if (in.code > best_code || (in.code == best_code && r < best_owner)) {
+        // Round-1 votes carry no message; remember the owner so a round-2
+        // verdict from the same rank can fill it in.
+        best_code = std::max(best_code, in.code);
+        if (in.code > out.code) out.code = in.code;
+      }
+    } else {
+      suspects |= std::uint64_t{1} << r;
+    }
+  }
+
+  // -- Round 2: verdict -------------------------------------------------------
+  const int tag_verdict = livenessTag(epoch, 1);
+  VerdictMsg verdict;
+  verdict.epoch = static_cast<std::int32_t>(epoch);
+  verdict.code = local.code;
+  verdict.suspects = suspects;
+  std::strncpy(verdict.what, local.what.c_str(), sizeof(verdict.what) - 1);
+  {
+    std::vector<Request> sends;
+    sends.reserve(static_cast<std::size_t>(P));
+    for (Rank r = 0; r < P; ++r) {
+      if (r == me) continue;
+      sends.push_back(comm.isend(&verdict, sizeof(verdict), r, tag_verdict));
+    }
+    comm.waitAll(sends);
+  }
+  best_code = local.code;
+  best_owner = me;
+  best_what = local.what;
+  std::uint64_t dead_bits = suspects;
+  const SimTime verdict_deadline = comm.proc().now() + window;
+  for (Rank r = 0; r < P; ++r) {
+    if (r == me) continue;
+    VerdictMsg in;
+    if (comm.recvUntil(&in, sizeof(in), r, tag_verdict, verdict_deadline,
+                       poll)) {
+      TCIO_CHECK_MSG(in.epoch == epoch, "liveness verdict from a stale epoch");
+      dead_bits |= in.suspects;
+      if (in.code > best_code || (in.code == best_code && r < best_owner)) {
+        best_code = in.code;
+        best_owner = r;
+        in.what[sizeof(in.what) - 1] = '\0';
+        best_what = in.what;
+      }
+    } else {
+      // Died between the rounds (or was suspected by everyone): no verdict.
+      dead_bits |= std::uint64_t{1} << r;
+    }
+  }
+
+  out.code = best_code;
+  out.what = best_what;
+  out.self_dead = (dead_bits & (std::uint64_t{1} << me)) != 0;
+  for (Rank r = 0; r < P; ++r) {
+    if ((dead_bits & (std::uint64_t{1} << r)) != 0) out.dead.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace tcio::mpi

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "common/error.h"
 #include "common/fault.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -20,6 +21,12 @@ namespace tcio::sim {
 /// number, capped at `policy.max_backoff`, jittered multiplicatively from
 /// `rng` to de-synchronize retrying ranks.
 inline SimTime backoffDelay(const RetryPolicy& policy, int attempt, Rng& rng) {
+  TCIO_CHECK_MSG(attempt >= 1, "backoff attempt numbers are 1-based");
+  TCIO_CHECK_MSG(policy.base_backoff >= 0 && policy.max_backoff >= 0 &&
+                     policy.backoff_multiplier >= 1.0 &&
+                     policy.jitter_fraction >= 0 &&
+                     policy.jitter_fraction <= 2.0,
+                 "invalid RetryPolicy");
   double delay = policy.base_backoff;
   for (int i = 1; i < attempt; ++i) delay *= policy.backoff_multiplier;
   delay = std::min(delay, policy.max_backoff);

@@ -34,6 +34,26 @@ tcio_file* tcio_open(const char* fname, int mode) {
                               static_cast<unsigned>(mode), c.cfg);
 }
 
+void tcio_stats(tcio_file* fh, tcio_stats_t* out) {
+  const tcio::core::TcioDegradedStats& d = fh->stats().degraded;
+  *out = {};
+  out->fs_transient_faults = d.fs_transient_faults;
+  out->fs_retries = d.fs_retries;
+  out->fs_retry_giveups = d.fs_retry_giveups;
+  out->chunks_remapped = d.chunks_remapped;
+  out->chunks_rebalanced = d.chunks_rebalanced;
+  out->rma_drops = d.rma_drops;
+  out->fallback_exchanges = d.fallback_exchanges;
+  out->two_sided_fallback = d.two_sided_fallback ? 1 : 0;
+  out->ranks_crashed = d.ranks_crashed;
+  out->segments_taken_over = d.segments_taken_over;
+  out->journal_records_replayed = d.journal_records_replayed;
+  out->journal_bytes_replayed = static_cast<long long>(d.journal_bytes_replayed);
+  out->journal_torn_records = d.journal_torn_records;
+  out->unjournaled_segments_lost = d.unjournaled_segments_lost;
+  out->degraded = d.any() ? 1 : 0;
+}
+
 void tcio_write(tcio_file* fh, const void* data, int count,
                 const tcio::mpi::Datatype& type) {
   fh->write(data, count, type);
@@ -67,5 +87,11 @@ void tcio_fetch(tcio_file* fh) { fh->fetch(); }
 
 void tcio_close(tcio_file* fh) {
   fh->close();
+  delete fh;
+}
+
+void tcio_close_stats(tcio_file* fh, tcio_stats_t* out) {
+  fh->close();
+  tcio_stats(fh, out);
   delete fh;
 }

@@ -64,6 +64,26 @@ struct TcioConfig {
   /// transients surface unless the application opts in.
   RetryPolicy retry;
 
+  /// Fail-stop crash tolerance (see DESIGN.md §8). All off by default —
+  /// zero behavior change for jobs that don't opt in.
+  struct CrashToleranceConfig {
+    /// Master switch: arm the crash schedule (faults.crashes), run every
+    /// collective agreement through the liveness protocol, and double the
+    /// level-2 window with spare slots for orphaned-segment takeover.
+    bool enabled = false;
+    /// Write-ahead journal: append each level-1 flush's extents to a
+    /// per-rank CRC32-framed journal file before the level-2 transfer, so
+    /// a dead rank's buffered segments can be replayed by their new owner.
+    bool journal = true;
+    /// Virtual-time window a liveness round waits for a peer before
+    /// suspecting it. Must exceed the worst-case inter-rank skew at a
+    /// collective point (straggler configs need more).
+    SimTime liveness_window = 250.0e-3;
+    /// Failure-detector poll quantum inside the window.
+    SimTime liveness_poll = 2.0e-3;
+  };
+  CrashToleranceConfig crash;
+
   /// Degradation ladder, RMA leg: once the network has dropped (and
   /// retransmitted) at least this many RMA payloads, the next collective
   /// point agrees to abandon one-sided epochs and run every remaining

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <numeric>
 #include <set>
+#include <span>
+
+#include "mpi/liveness.h"
 
 namespace tcio::core {
 
@@ -29,10 +33,16 @@ File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
       flags_(flags),
       cfg_(cfg),
       map_(cfg.segment_size, comm.size()),
-      flags_region_(cfg.segments_per_rank * kFlagBytes),
-      level1_(cfg.segment_size) {
+      flags_region_((cfg.crash.enabled ? 2 : 1) * cfg.segments_per_rank *
+                    kFlagBytes),
+      level1_(cfg.segment_size),
+      orig_rank_(comm.rank()),
+      orig_size_(comm.size()) {
   TCIO_CHECK(cfg_.segment_size > 0);
   TCIO_CHECK(cfg_.segments_per_rank > 0);
+  TCIO_CHECK_MSG(!cfg_.crash.enabled || orig_size_ <= 64,
+                 "crash tolerance supports communicators up to 64 ranks "
+                 "(liveness suspicion sets are one word)");
   TCIO_CHECK_MSG(cfg_.use_onesided || cfg_.lazy_reads,
                  "two-sided exchange requires lazy reads (no independent "
                  "materialization path exists without one-sided access)");
@@ -68,8 +78,35 @@ File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
     }
   }
   mpi::agreeOnError(*comm_, open_err);
+  if (cfg_.crash.enabled) {
+    // The crash schedule, the per-rank journal, and a reserved block of
+    // communicator contexts for post-death shrinks. The journal open is a
+    // real MDS operation (it can fault), so it is captured and agreed like
+    // the data-file open above.
+    crash_plan_ = std::make_unique<CrashPlan>(cfg_.faults, orig_rank_);
+    mpi::CapturedError jerr;
+    if (cfg_.crash.journal) {
+      try {
+        journal_ =
+            std::make_unique<Journal>(client_, journalPath(name_, orig_rank_));
+      } catch (const std::exception& e) {
+        jerr.capture(e);
+      }
+    }
+    mpi::agreeOnError(*comm_, jerr);
+    int base = 0;
+    if (orig_rank_ == 0) base = comm_->reserveContexts(kMaxShrinks);
+    comm_->bcast(&base, sizeof(base), 0);
+    shrink_context_base_ = base;
+    orig_of_cur_.resize(static_cast<std::size_t>(orig_size_));
+    std::iota(orig_of_cur_.begin(), orig_of_cur_.end(), 0);
+    cur_of_orig_ = orig_of_cur_;
+    dead_.assign(static_cast<std::size_t>(orig_size_), false);
+    next_spare_.assign(static_cast<std::size_t>(orig_size_),
+                       cfg_.segments_per_rank);
+  }
   window_ = std::make_unique<mpi::Window>(mpi::Window::create(
-      *comm_, flags_region_ + cfg_.segments_per_rank * cfg_.segment_size));
+      *comm_, flags_region_ + slotCount() * cfg_.segment_size));
   if (cfg_.node_aggregation) {
     node_map_ = std::make_unique<topo::NodeMap>(*comm_);
     Bytes slot = cfg_.node_agg_slot_bytes;
@@ -146,10 +183,15 @@ void File::flushLevel1() {
   ++stats_.level1_flushes;
   const SegmentId seg = level1_.alignedSegment();
   const std::vector<Extent> extents = level1_.mergedExtents();
+  // Write-ahead: the journal records must be durable before the bytes move
+  // to the level-2 window (a one-sided put into a rank that later dies takes
+  // the window copy with it; the journal copy survives in *this* rank's log).
+  journalExtents(seg, extents);
+  crashPoint(CrashPoint::kMidRma);
   const SimTime flush_begin = comm_->proc().now();
   if (!twoSidedExchange() && !cfg_.node_aggregation) {
-    const Rank owner = map_.rankOf(seg);
-    const std::int64_t slot = map_.slotOf(seg);
+    const Rank owner = ownerOf(seg);
+    const std::int64_t slot = slotOnOwner(seg);
     std::vector<mpi::Window::PutBlock> blocks;
     blocks.reserve(extents.size() + 1);
     blocks.push_back({flagsDisp(slot, kDirtyFlag), &kFlagSet, 1});
@@ -185,7 +227,7 @@ void File::flushLevel1() {
       comm_->memory().allocate(e.size(), "TCIO staged writes");
     }
     if (cfg_.node_aggregation &&
-        node_map_->nodeOf(map_.rankOf(seg)) != node_map_->myNode()) {
+        node_map_->nodeOf(curOf(ownerOf(seg))) != node_map_->myNode()) {
       // The per-rank shuffle would have put one epoch for this flush on the
       // NIC; the leader exchange replaces it.
       ++stats_.internode_messages_saved;
@@ -252,8 +294,8 @@ void File::recordRead(Offset off, std::byte* dst, Bytes n) {
 }
 
 void File::ensureLoadedIndependent(SegmentId seg) {
-  const Rank owner = map_.rankOf(seg);
-  const std::int64_t slot = map_.slotOf(seg);
+  const Rank owner = ownerOf(seg);
+  const std::int64_t slot = slotOnOwner(seg);
   std::byte flags[2];
   window_->get(owner, flagsDisp(slot, 0), flags, kFlagBytes);
   if (flags[kDirtyFlag] != std::byte{0} || flags[kLoadedFlag] != std::byte{0}) {
@@ -284,8 +326,8 @@ void File::independentFetch(std::vector<PendingRead> reads) {
     by_seg[map_.segmentOf(r.off)].push_back(r);
   }
   for (auto& [seg, group] : by_seg) {
-    const Rank owner = map_.rankOf(seg);
-    const std::int64_t slot = map_.slotOf(seg);
+    const Rank owner = ownerOf(seg);
+    const std::int64_t slot = slotOnOwner(seg);
     std::vector<mpi::Window::GetBlock> blocks;
     blocks.reserve(group.size());
     for (const PendingRead& r : group) {
@@ -316,8 +358,8 @@ void File::gatherPending(std::vector<PendingRead>& reads) {
   std::map<Rank, std::vector<mpi::Window::GetBlock>> by_owner;
   for (const PendingRead& r : reads) {
     const SegmentId seg = map_.segmentOf(r.off);
-    by_owner[map_.rankOf(seg)].push_back(
-        {dataDisp(map_.slotOf(seg), map_.dispOf(r.off)), r.dst, r.len});
+    by_owner[ownerOf(seg)].push_back(
+        {dataDisp(slotOnOwner(seg), map_.dispOf(r.off)), r.dst, r.len});
   }
   for (auto& [owner, blocks] : by_owner) {
     window_->lock(mpi::LockType::kShared, owner);
@@ -329,7 +371,27 @@ void File::gatherPending(std::vector<PendingRead>& reads) {
 void File::collectiveFetch() {
   ++stats_.collective_fetches;
   const SimTime fetch_begin = comm_->proc().now();
-  if (cfg_.node_aggregation) {
+  if (cfg_.crash.enabled) {
+    // Liveness first: a peer that died since the last collective (or dies in
+    // its own residue flush right here) must be agreed dead — and its
+    // segments taken over — before any plain collective below is entered,
+    // or the survivors hang in it. The residue flush carries crash points
+    // (kMidJournal/kMidRma); a rank killed by one unwinds, uncaptured.
+    mpi::CapturedError err;
+    try {
+      flushLevel1();
+    } catch (const RankCrashedError&) {
+      throw;
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
+    collectiveAgreeOnError(err);
+    if (cfg_.node_aggregation) {
+      nodeExchangeStagedWrites();
+    } else if (twoSidedExchange()) {
+      exchangeStagedWrites();
+    }
+  } else if (cfg_.node_aggregation) {
     nodeExchangeStagedWrites();
   } else if (twoSidedExchange()) {
     exchangeStagedWrites();
@@ -344,9 +406,10 @@ void File::collectiveFetch() {
     }
     collectiveAgreeOnError(err);
   }
-  // Union of needed segments across ranks.
+  // Union of needed segments across ranks (segment ids span the original
+  // communicator's domain even after a crash shrink).
   const std::int64_t total_segs =
-      cfg_.segments_per_rank * static_cast<std::int64_t>(comm_->size());
+      cfg_.segments_per_rank * static_cast<std::int64_t>(orig_size_);
   std::vector<std::uint64_t> bitmap(
       static_cast<std::size_t>((total_segs + 63) / 64), 0);
   for (const PendingRead& r : pending_reads_) {
@@ -363,8 +426,7 @@ void File::collectiveFetch() {
   try {
     const Bytes fsize = client_.size(fsfile_);
     std::byte* local_win = window_->localData();
-    for (std::int64_t slot = 0; slot < cfg_.segments_per_rank; ++slot) {
-      const SegmentId g = map_.segmentFor(comm_->rank(), slot);
+    for (const auto& [g, slot] : ownedSlots()) {
       if ((bitmap[static_cast<std::size_t>(g / 64)] & (1ULL << (g % 64))) ==
           0) {
         continue;
@@ -397,7 +459,7 @@ void File::collectiveFetch() {
     for (const PendingRead& r : pending_reads_) {
       const BlockMeta m{r.off, r.len};
       const auto owner =
-          static_cast<std::size_t>(map_.rankOf(map_.segmentOf(r.off)));
+          static_cast<std::size_t>(curOf(ownerOf(map_.segmentOf(r.off))));
       const auto* raw = reinterpret_cast<const std::byte*>(&m);
       req_meta[owner].insert(req_meta[owner].end(), raw, raw + sizeof(m));
     }
@@ -447,7 +509,7 @@ void File::collectiveFetch() {
       for (std::size_t i = 0; i < nb; ++i) {
         const SegmentId g = map_.segmentOf(blocks[i].off);
         const std::byte* from =
-            local + dataDisp(map_.slotOf(g), map_.dispOf(blocks[i].off));
+            local + dataDisp(slotOnOwner(g), map_.dispOf(blocks[i].off));
         replies[s].insert(replies[s].end(), from, from + blocks[i].len);
       }
     }
@@ -459,7 +521,7 @@ void File::collectiveFetch() {
     std::vector<Offset> cursor(rdispls.begin(), rdispls.end());
     for (const PendingRead& r : pending_reads_) {
       const auto owner =
-          static_cast<std::size_t>(map_.rankOf(map_.segmentOf(r.off)));
+          static_cast<std::size_t>(curOf(ownerOf(map_.segmentOf(r.off))));
       std::memcpy(r.dst, payload.data() + cursor[owner],
                   static_cast<std::size_t>(r.len));
       cursor[owner] += r.len;
@@ -494,6 +556,31 @@ void File::seek(Offset off, Whence whence) {
 
 void File::flush() {
   TCIO_CHECK_MSG(open_, "flush on closed TCIO file");
+  if (cfg_.crash.enabled) {
+    crashPoint(CrashPoint::kAtCollective);
+    // Crash-tolerant ordering: the level-1 flush (journal + RMA/stage, all
+    // local work with crash points inside) runs first, then the liveness
+    // agreement detects any rank that died at or before this collective and
+    // shrinks around it — only then is a plain collective safe to enter.
+    mpi::CapturedError err;
+    try {
+      flushLevel1();
+    } catch (const RankCrashedError&) {
+      throw;
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
+    collectiveAgreeOnError(err);
+    maybeFallBackToTwoSided();
+    if (cfg_.node_aggregation) {
+      nodeExchangeStagedWrites();
+    } else if (twoSidedExchange()) {
+      exchangeStagedWrites();
+    }
+    comm_->barrier();
+    syncRecoveryStats();
+    return;
+  }
   maybeFallBackToTwoSided();
   if (cfg_.node_aggregation) {
     nodeExchangeStagedWrites();
@@ -516,6 +603,16 @@ void File::flush() {
 
 void File::fetch() {
   TCIO_CHECK_MSG(open_, "fetch on closed TCIO file");
+  if (cfg_.crash.enabled) {
+    crashPoint(CrashPoint::kAtCollective);
+    // collectiveFetch leads with its own liveness round; the fallback
+    // allreduce must come after that detection, so it lives inside the
+    // crash-aware fetch path only for the legacy ordering below.
+    collectiveFetch();
+    maybeFallBackToTwoSided();
+    syncRecoveryStats();
+    return;
+  }
   maybeFallBackToTwoSided();
   collectiveFetch();
   syncRecoveryStats();
@@ -529,7 +626,7 @@ void File::exchangeStagedWrites() {
   std::vector<std::vector<std::byte>> meta(sp), payload(sp);
   for (const auto& [off, bytes] : staged_) {
     const SegmentId g = map_.segmentOf(off);
-    const auto owner = static_cast<std::size_t>(map_.rankOf(g));
+    const auto owner = static_cast<std::size_t>(curOf(ownerOf(g)));
     const BlockMeta m{off, static_cast<Bytes>(bytes.size())};
     const auto* raw = reinterpret_cast<const std::byte*>(&m);
     meta[owner].insert(meta[owner].end(), raw, raw + sizeof(m));
@@ -584,7 +681,7 @@ void File::exchangeStagedWrites() {
       const std::byte* from = got_payload.data() + pdsp[s];
       for (std::size_t i = 0; i < nb; ++i) {
         const SegmentId g = map_.segmentOf(blocks[i].off);
-        const std::int64_t slot = map_.slotOf(g);
+        const std::int64_t slot = slotOnOwner(g);
         std::memcpy(local + dataDisp(slot, map_.dispOf(blocks[i].off)), from,
                     static_cast<std::size_t>(blocks[i].len));
         from += blocks[i].len;
@@ -610,7 +707,7 @@ void File::nodeExchangeStagedWrites() {
   std::vector<std::vector<std::byte>> per_node(static_cast<std::size_t>(N));
   for (const auto& [off, bytes] : staged_) {
     const auto dn = static_cast<std::size_t>(
-        node_map_->nodeOf(map_.rankOf(map_.segmentOf(off))));
+        node_map_->nodeOf(curOf(ownerOf(map_.segmentOf(off)))));
     const BlockMeta m{off, static_cast<Bytes>(bytes.size())};
     appendBytes(per_node[dn], &m, sizeof(m));
     appendBytes(per_node[dn], bytes.data(), bytes.size());
@@ -691,8 +788,8 @@ void File::nodeExchangeStagedWrites() {
             TCIO_CHECK(pos + static_cast<std::size_t>(m.len) <=
                        rb.data.size());
             const SegmentId g = map_.segmentOf(m.off);
-            const Rank owner = map_.rankOf(g);
-            const std::int64_t slot = map_.slotOf(g);
+            const Rank owner = ownerOf(g);  // window target: original rank
+            const std::int64_t slot = slotOnOwner(g);
             auto& blocks = by_owner[owner];
             if (flagged[owner].insert(slot).second) {
               blocks.push_back({flagsDisp(slot, kDirtyFlag), &kFlagSet, 1});
@@ -738,7 +835,7 @@ void File::nodeAggregatedGather(std::vector<PendingRead>& reads) {
   std::vector<std::vector<PendingRead*>> order(sn);
   for (PendingRead& r : reads) {
     const auto dn = static_cast<std::size_t>(
-        node_map_->nodeOf(map_.rankOf(map_.segmentOf(r.off))));
+        node_map_->nodeOf(curOf(ownerOf(map_.segmentOf(r.off)))));
     const BlockMeta m{r.off, r.len};
     appendBytes(req[dn], &m, sizeof(m));
     order[dn].push_back(&r);
@@ -784,8 +881,8 @@ void File::nodeAggregatedGather(std::vector<PendingRead>& reads) {
     Bytes served = 0;
     for (const auto& [m, slice] : wanted) {
       const SegmentId g = map_.segmentOf(m.off);
-      by_owner[map_.rankOf(g)].push_back(
-          {dataDisp(map_.slotOf(g), map_.dispOf(m.off)),
+      by_owner[ownerOf(g)].push_back(
+          {dataDisp(slotOnOwner(g), map_.dispOf(m.off)),
            replies[slice.node].data() + slice.at, m.len});
       served += m.len;
     }
@@ -872,64 +969,139 @@ void File::close() {
   // attempt the collective sequence again mid-unwind (the other ranks are no
   // longer at a matching program point).
   open_ = false;
+  // Deferred agreed outcome: with crash tolerance the agreement points
+  // return their verdict instead of throwing, so resources are released and
+  // the handle closed before the error finally surfaces.
+  std::int32_t agreed_code = mpi::CapturedError::kNone;
+  std::string agreed_what;
+  const auto accumulate = [&](std::int32_t code, const std::string& what) {
+    if (code != mpi::CapturedError::kNone &&
+        (agreed_code == mpi::CapturedError::kNone || code > agreed_code)) {
+      agreed_code = code;
+      agreed_what = what;
+    }
+  };
+  mpi::CapturedError err;
+  if (cfg_.crash.enabled) {
+    crashPoint(CrashPoint::kAtCollective);
+    // Detection round before any plain collective: peers that died since the
+    // last collective point (or die in this residue flush) are agreed dead,
+    // the communicator shrinks, and their segments are adopted + replayed.
+    try {
+      flushLevel1();
+    } catch (const RankCrashedError&) {
+      throw;
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
+    auto [code, what] = agreeAndRecover(err);
+    accumulate(code, what);
+    err = {};
+  }
   maybeFallBackToTwoSided();
   // Every agreement point below throws the *same* typed error on *all*
   // ranks, so catching locally and continuing the close sequence keeps the
-  // ranks in lockstep — resources are released and the file handle closed
-  // collectively before the agreed error finally surfaces.
-  mpi::CapturedError err;
-  if ((flags_ & fs::kRead) != 0) {
+  // ranks in lockstep.
+  if ((flags_ & fs::kRead) != 0 && agreed_code == mpi::CapturedError::kNone) {
     try {
       collectiveFetch();  // resolve any pending lazy reads
+    } catch (const RankCrashedError&) {
+      throw;
     } catch (const std::exception& e) {
       err.capture(e);
     }
   }
-  if (!err.set()) {
+  if (!err.set() && agreed_code == mpi::CapturedError::kNone) {
     try {
       if (cfg_.node_aggregation) {
         nodeExchangeStagedWrites();
       } else if (twoSidedExchange()) {
         exchangeStagedWrites();
-      } else {
+      } else if (!cfg_.crash.enabled) {
         flushLevel1();  // local + RMA only; agreement happens below
       }
+      // (crash mode already flushed the residue in the detection round)
+    } catch (const RankCrashedError&) {
+      throw;
     } catch (const std::exception& e) {
       err.capture(e);
     }
   }
   // Aggregate file size across ranks (pre-existing contents included).
+  // Journal replays above fold a dead rank's extents into the survivors'
+  // local_max_written_, so its tail still counts toward the agreed size.
   std::int64_t fsize = std::max(local_max_written_, client_.size(fsfile_));
   comm_->allreduce(&fsize, 1, mpi::ReduceOp::kMax);
   comm_->barrier();  // paper: synchronize before draining level-2
+  final_fsize_ = fsize;
   // Drain under collective error agreement: a rank whose file-system writes
   // fail must not leave its peers blocked in the closing collectives, and a
   // rank whose own writes succeeded must still learn the file is damaged.
   // The drain is purely local, so skipping it on an already-failed rank (or
   // failing on some ranks only) cannot desynchronize the collectives.
-  if (!err.set() && (flags_ & fs::kWrite) != 0) {
+  if (!err.set() && agreed_code == mpi::CapturedError::kNone &&
+      (flags_ & fs::kWrite) != 0) {
     try {
       drainToFs(fsize);
+    } catch (const RankCrashedError&) {
+      throw;
     } catch (const std::exception& e) {
       err.capture(e);
     }
   }
-  client_.close(fsfile_);
+  drained_ = true;
+  if (cfg_.crash.enabled) {
+    // Post-drain agreement: a rank that died mid-drain (kMidClose) left some
+    // of its dirty segments unwritten. agreeAndRecover loops until the dead
+    // set stops growing; survivors reconstruct the orphaned segments from
+    // the journals and write them directly to the file.
+    auto [code, what] = agreeAndRecover(err);
+    accumulate(code, what);
+    err = {};
+    // Commit: every journaled byte is durably in the file proper. On an
+    // agreed failure the journal is left intact — the bytes it holds are
+    // exactly what the damaged file may be missing.
+    if (journal_ && agreed_code == mpi::CapturedError::kNone) {
+      try {
+        journal_->commit();
+      } catch (const std::exception& e) {
+        err.capture(e);
+      }
+    }
+    // The commit is an MDS op pair and can fault; one more aligned round.
+    auto [code2, what2] = agreeAndRecover(err);
+    accumulate(code2, what2);
+    err = {};
+    journal_.reset();
+  }
+  try {
+    client_.close(fsfile_);
+  } catch (const std::exception& e) {
+    err.capture(e);
+  }
   if (node_agg_ != nullptr) node_agg_->close();
   comm_->memory().release(cfg_.segment_size);  // level-1 buffer
   comm_->memory().release(window_->localSize());
   window_.reset();
   syncRecoveryStats();
-  collectiveAgreeOnError(err);
+  if (cfg_.crash.enabled) {
+    auto [code, what] = agreeAndRecover(err);
+    accumulate(code, what);
+    if (agreed_code != mpi::CapturedError::kNone) {
+      mpi::throwTyped(agreed_code, agreed_what);
+    }
+  } else {
+    collectiveAgreeOnError(err);
+  }
 }
 
 void File::drainToFs(Bytes file_size) {
   const std::byte* local = window_->localData();
-  for (std::int64_t slot = 0; slot < cfg_.segments_per_rank; ++slot) {
+  for (const auto& [g, slot] : ownedSlots()) {
     if (local[flagsDisp(slot, kDirtyFlag)] == std::byte{0}) continue;
-    const SegmentId g = map_.segmentFor(comm_->rank(), slot);
     const Offset base = map_.baseOf(g);
     if (base >= file_size) continue;
+    crashPoint(CrashPoint::kMidClose);
     const Bytes len = std::min(cfg_.segment_size, file_size - base);
     pwriteDegraded(base, local + dataDisp(slot, 0), len);
   }
@@ -938,7 +1110,272 @@ void File::drainToFs(Bytes file_size) {
 // -- Fault recovery -----------------------------------------------------------
 
 void File::collectiveAgreeOnError(const mpi::CapturedError& err) {
-  mpi::agreeOnError(*comm_, err);
+  auto [code, what] = agreeAndRecover(err);
+  if (code != mpi::CapturedError::kNone) mpi::throwTyped(code, what);
+}
+
+// -- Fail-stop crash tolerance ------------------------------------------------
+
+Rank File::ownerOf(SegmentId g) const {
+  const auto it = orphans_.find(g);
+  return it == orphans_.end() ? map_.rankOf(g) : it->second.owner;
+}
+
+std::int64_t File::slotOnOwner(SegmentId g) const {
+  const auto it = orphans_.find(g);
+  return it == orphans_.end() ? map_.slotOf(g) : it->second.slot;
+}
+
+Rank File::curOf(Rank orig) const {
+  if (cur_of_orig_.empty()) return orig;
+  const Rank cur = cur_of_orig_[static_cast<std::size_t>(orig)];
+  TCIO_CHECK_MSG(cur >= 0, "routing data to a rank agreed dead");
+  return cur;
+}
+
+std::vector<std::pair<SegmentId, std::int64_t>> File::ownedSlots() const {
+  std::vector<std::pair<SegmentId, std::int64_t>> out;
+  out.reserve(static_cast<std::size_t>(cfg_.segments_per_rank) +
+              orphans_.size());
+  for (std::int64_t slot = 0; slot < cfg_.segments_per_rank; ++slot) {
+    out.emplace_back(map_.segmentFor(orig_rank_, slot), slot);
+  }
+  for (const auto& [g, t] : orphans_) {
+    if (t.owner == orig_rank_) out.emplace_back(g, t.slot);
+  }
+  return out;
+}
+
+void File::die(const char* where) {
+  // Fail-stop: this rank is gone. Closing the handle here keeps the
+  // destructor from attempting the collective close sequence mid-unwind;
+  // everything else (window memory, journal handle, staged bytes) dies with
+  // the process, exactly like a real crash.
+  open_ = false;
+  throw RankCrashedError("rank " + std::to_string(orig_rank_) +
+                             " fail-stop crash (" + where + ")",
+                         orig_rank_);
+}
+
+void File::crashPoint(CrashPoint point) {
+  if (crash_plan_ == nullptr || !crash_plan_->fires(point)) return;
+  switch (point) {
+    case CrashPoint::kAtCollective: die("at collective entry");
+    case CrashPoint::kMidRma: die("between journal append and RMA epoch");
+    case CrashPoint::kMidJournal: die("mid journal append");
+    case CrashPoint::kMidClose: die("mid close drain");
+  }
+  die("unknown crash point");
+}
+
+void File::journalExtents(SegmentId seg, const std::vector<Extent>& extents) {
+  if (journal_ == nullptr) return;
+  for (const Extent& e : extents) {
+    const std::span<const std::byte> payload{
+        level1_.data() + e.begin, static_cast<std::size_t>(e.size())};
+    if (crash_plan_ != nullptr &&
+        crash_plan_->fires(CrashPoint::kMidJournal)) {
+      // Torn write: a deterministic prefix of the frame reaches the device,
+      // then the rank dies. Replay later drops the torn tail via CRC.
+      const std::int64_t frame =
+          Journal::kHeaderBytes + static_cast<std::int64_t>(payload.size());
+      journal_->append(seg, e.begin, payload, crash_plan_->tornBytes(frame));
+      die("mid journal append");
+    }
+    journal_->append(seg, e.begin, payload);
+  }
+}
+
+std::pair<std::int32_t, std::string> File::agreeAndRecover(
+    mpi::CapturedError err) {
+  if (!cfg_.crash.enabled) {
+    mpi::agreeOnError(*comm_, err);  // throws on any agreed error
+    return {mpi::CapturedError::kNone, std::string()};
+  }
+  std::int32_t code = mpi::CapturedError::kNone;
+  std::string what;
+  // Epochs loop until the dead set stops growing: recovering from one batch
+  // of deaths (journal reads, file writes) can itself fail, and the verdict
+  // for that failure must again be collective.
+  for (;;) {
+    const mpi::LivenessOutcome out =
+        mpi::agreeWithLiveness(*comm_, err, epoch_++, cfg_.crash.liveness_window,
+                               cfg_.crash.liveness_poll);
+    if (out.self_dead) {
+      // Peers unanimously missed this rank inside the liveness window and
+      // have already agreed it dead; rejoining would desynchronize them.
+      open_ = false;
+      throw RankCrashedError(
+          "rank " + std::to_string(orig_rank_) +
+              " self-fenced: declared dead by liveness agreement",
+          orig_rank_);
+    }
+    if (out.code != mpi::CapturedError::kNone &&
+        (code == mpi::CapturedError::kNone || out.code > code)) {
+      code = out.code;
+      what = out.what;
+    }
+    if (out.dead.empty()) return {code, what};
+    err = {};
+    try {
+      handleDeaths(out.dead);
+    } catch (const RankCrashedError&) {
+      throw;
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
+  }
+}
+
+void File::handleDeaths(const std::vector<Rank>& dead_cur) {
+  // 1) Translate the agreed dead set (ranks of the current communicator) to
+  //    original identities and record the deaths.
+  std::vector<Rank> dead_orig;
+  dead_orig.reserve(dead_cur.size());
+  for (const Rank r : dead_cur) {
+    dead_orig.push_back(orig_of_cur_[static_cast<std::size_t>(r)]);
+  }
+  std::sort(dead_orig.begin(), dead_orig.end());
+  for (const Rank d : dead_orig) dead_[static_cast<std::size_t>(d)] = true;
+  stats_.degraded.ranks_crashed +=
+      static_cast<std::int64_t>(dead_orig.size());
+  // 2) Shrink: the survivors (every live rank reaches this point with the
+  //    same dead set) move to a fresh communicator on a pre-reserved
+  //    context. The level-2 window stays on the original communicator —
+  //    passive-target RMA needs no progress from dead ranks.
+  TCIO_CHECK_MSG(shrinks_ < kMaxShrinks,
+                 "crash shrink budget exhausted (more shrink events than "
+                 "reserved communicator contexts)");
+  std::vector<Rank> surv_cur;
+  for (Rank r = 0; r < comm_->size(); ++r) {
+    if (std::find(dead_cur.begin(), dead_cur.end(), r) == dead_cur.end()) {
+      surv_cur.push_back(r);
+    }
+  }
+  auto next = std::make_unique<mpi::Comm>(
+      comm_->shrink(surv_cur, shrink_context_base_ + shrinks_++));
+  std::vector<Rank> new_orig_of_cur;
+  new_orig_of_cur.reserve(surv_cur.size());
+  for (const Rank r : surv_cur) {
+    new_orig_of_cur.push_back(orig_of_cur_[static_cast<std::size_t>(r)]);
+  }
+  orig_of_cur_ = std::move(new_orig_of_cur);
+  cur_of_orig_.assign(static_cast<std::size_t>(orig_size_), -1);
+  for (std::size_t i = 0; i < orig_of_cur_.size(); ++i) {
+    cur_of_orig_[static_cast<std::size_t>(orig_of_cur_[i])] =
+        static_cast<Rank>(i);
+  }
+  comm_ = next.get();
+  shrunk_comms_.push_back(std::move(next));
+  // 3) Deterministic takeover: the dead ranks' native segments — plus any
+  //    orphans they had previously adopted — are reassigned round-robin over
+  //    the live original ranks, each into the new owner's next spare window
+  //    slot. Every survivor computes the identical assignment.
+  std::vector<Rank> live;
+  for (Rank r = 0; r < static_cast<Rank>(orig_size_); ++r) {
+    if (!dead_[static_cast<std::size_t>(r)]) live.push_back(r);
+  }
+  TCIO_CHECK_MSG(!live.empty(), "every rank of the TCIO job crashed");
+  std::vector<SegmentId> orphan_segs;
+  for (const Rank d : dead_orig) {
+    for (std::int64_t slot = 0; slot < cfg_.segments_per_rank; ++slot) {
+      orphan_segs.push_back(map_.segmentFor(d, slot));
+    }
+    for (const auto& [g, t] : orphans_) {
+      if (t.owner == d) orphan_segs.push_back(g);  // transitive reassignment
+    }
+  }
+  std::vector<std::pair<SegmentId, std::int64_t>> mine;
+  for (const SegmentId g : orphan_segs) {
+    const Rank owner =
+        live[static_cast<std::size_t>(takeover_rr_++ %
+                                      static_cast<std::int64_t>(live.size()))];
+    const std::int64_t slot = next_spare_[static_cast<std::size_t>(owner)]++;
+    TCIO_CHECK_MSG(slot < slotCount(),
+                   "spare takeover slots exhausted — too many crashes for "
+                   "this segments_per_rank");
+    orphans_[g] = {owner, slot};
+    if (owner == orig_rank_) mine.emplace_back(g, slot);
+  }
+  stats_.degraded.segments_taken_over +=
+      static_cast<std::int64_t>(mine.size());
+  // 4) Node aggregation is rebuilt over the shrunk communicator; a dead
+  //    leader's node promotes its next rank automatically (NodeMap's leader
+  //    is the node's lowest surviving rank).
+  if (cfg_.node_aggregation) {
+    node_agg_->close();
+    node_agg_.reset();
+    node_map_ = std::make_unique<topo::NodeMap>(*comm_);
+    Bytes slot_bytes = cfg_.node_agg_slot_bytes;
+    if (slot_bytes == 0) {
+      slot_bytes =
+          static_cast<Bytes>(node_map_->maxNodeSize()) * cfg_.segment_size +
+          4096;
+    }
+    node_agg_ = std::make_unique<topo::NodeAggregator>(*node_map_, slot_bytes);
+  }
+  // 5) Replay: the new owner reconstructs each adopted segment from the
+  //    journals. A dead rank's window memory is *never* read — a real
+  //    crashed process takes its memory with it; the journals are the only
+  //    durable copy of bytes that were still buffered.
+  if (!mine.empty()) replayOrphans(mine);
+}
+
+void File::replayOrphans(
+    const std::vector<std::pair<SegmentId, std::int64_t>>& mine) {
+  if (journal_ == nullptr) {
+    // Journaling off: whatever the dead ranks had buffered for these
+    // segments is gone. Reported, never silent.
+    stats_.degraded.unjournaled_segments_lost +=
+        static_cast<std::int64_t>(mine.size());
+    return;
+  }
+  // Any original rank may have contributed extents to an orphaned segment
+  // (writers journal before their one-sided put lands in the dead owner's
+  // window), so recovery scans every rank's journal — costed reads.
+  std::vector<Journal::Parsed> logs;
+  logs.reserve(static_cast<std::size_t>(orig_size_));
+  for (Rank r = 0; r < static_cast<Rank>(orig_size_); ++r) {
+    logs.push_back(Journal::readAndParse(client_, journalPath(name_, r)));
+    stats_.degraded.journal_torn_records += logs.back().torn_records;
+  }
+  std::byte* local = drained_ ? nullptr : window_->localData();
+  std::vector<std::byte> scratch;
+  for (const auto& [g, slot] : mine) {
+    if (drained_) {
+      scratch.assign(static_cast<std::size_t>(cfg_.segment_size),
+                     std::byte{0});
+    }
+    bool any = false;
+    for (const Journal::Parsed& log : logs) {
+      for (const Journal::Record& rec : log.records) {
+        if (rec.seg != g) continue;
+        std::byte* dst = drained_ ? scratch.data() + rec.disp
+                                  : local + dataDisp(slot, rec.disp);
+        std::memcpy(dst, rec.payload.data(), rec.payload.size());
+        any = true;
+        ++stats_.degraded.journal_records_replayed;
+        stats_.degraded.journal_bytes_replayed +=
+            static_cast<Bytes>(rec.payload.size());
+        local_max_written_ = std::max(
+            local_max_written_,
+            map_.baseOf(g) + rec.disp +
+                static_cast<Bytes>(rec.payload.size()));
+      }
+    }
+    if (!any) continue;
+    if (drained_) {
+      // The drain already ran: write the reconstructed segment straight to
+      // the file (whole clamped segment — identical to what the healthy
+      // drain of a dirty slot would have written).
+      const Offset base = map_.baseOf(g);
+      if (base >= static_cast<Offset>(final_fsize_)) continue;
+      const Bytes len = std::min(cfg_.segment_size, final_fsize_ - base);
+      pwriteDegraded(base, scratch.data(), len);
+    } else {
+      local[flagsDisp(slot, kDirtyFlag)] = kFlagSet;
+    }
+  }
 }
 
 void File::maybeFallBackToTwoSided() {
@@ -990,6 +1427,8 @@ void File::syncRecoveryStats() {
   sim::Proc& p = comm_->proc();
   stats_.degraded.rma_drops =
       p.atomic([&] { return comm_->world().network().rmaDropCount(); });
+  stats_.degraded.chunks_rebalanced = p.atomic(
+      [&] { return client_.filesystem().stats().chunks_rebalanced; });
 }
 
 }  // namespace tcio::core

@@ -22,10 +22,13 @@
 // arbitrary dynamically-sized blocks — the three OCIO pain points §I lists.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/types.h"
 #include "fs/client.h"
 #include "mpi/agreement.h"
@@ -33,6 +36,7 @@
 #include "mpi/datatype.h"
 #include "mpi/rma.h"
 #include "tcio/config.h"
+#include "tcio/journal.h"
 #include "tcio/level1.h"
 #include "tcio/segment_map.h"
 #include "topo/node_aggregator.h"
@@ -50,14 +54,27 @@ struct TcioDegradedStats {
   std::int64_t fs_retries = 0;           // backoff-then-retry cycles
   std::int64_t fs_retry_giveups = 0;     // retry budget exhausted
   std::int64_t chunks_remapped = 0;      // failed-OST chunks failed over
+  std::int64_t chunks_rebalanced = 0;    // remapped chunks moved home again
   std::int64_t rma_drops = 0;            // dropped RMA payloads (job-wide)
   std::int64_t fallback_exchanges = 0;   // staged exchanges run post-fallback
   bool two_sided_fallback = false;       // RMA degradation ladder engaged
+  // Fail-stop crash tolerance (TcioConfig::crash; zero when disabled).
+  std::int64_t ranks_crashed = 0;        // dead ranks agreed by liveness
+  std::int64_t segments_taken_over = 0;  // orphaned segments this rank adopted
+  std::int64_t journal_records_replayed = 0;  // WAL records replayed here
+  Bytes journal_bytes_replayed = 0;           // payload bytes those carried
+  std::int64_t journal_torn_records = 0;  // torn tails dropped during replay
+  /// Segments adopted with journaling off (or after a torn tail): their
+  /// buffered-but-unflushed bytes died with the rank. Never silent.
+  std::int64_t unjournaled_segments_lost = 0;
 
   bool any() const {
     return fs_transient_faults != 0 || fs_retries != 0 ||
-           fs_retry_giveups != 0 || chunks_remapped != 0 || rma_drops != 0 ||
-           two_sided_fallback;
+           fs_retry_giveups != 0 || chunks_remapped != 0 ||
+           chunks_rebalanced != 0 || rma_drops != 0 || two_sided_fallback ||
+           ranks_crashed != 0 || segments_taken_over != 0 ||
+           journal_records_replayed != 0 || journal_torn_records != 0 ||
+           unjournaled_segments_lost != 0;
   }
 };
 
@@ -128,12 +145,17 @@ class File {
   const TcioStats& stats() const { return stats_; }
   const TcioConfig& config() const { return cfg_; }
   const SegmentMap& segmentMap() const { return map_; }
+  /// The communicator collectives currently run over. With crash tolerance
+  /// this is the *shrunk* communicator once peers have been declared dead;
+  /// otherwise it is the communicator the file was opened on.
   mpi::Comm& comm() { return *comm_; }
 
-  /// Addressable file-domain limit given the configuration.
+  /// Addressable file-domain limit given the configuration. Defined over
+  /// the communicator the file was opened on — a crash-shrunk job keeps the
+  /// full file domain (orphaned segments are taken over, not dropped).
   Bytes capacity() const {
     return cfg_.segment_size * cfg_.segments_per_rank *
-           static_cast<Bytes>(comm_->size());
+           static_cast<Bytes>(map_.numRanks());
   }
 
  private:
@@ -193,9 +215,62 @@ class File {
   // -- Fault recovery (see DESIGN.md "Failure model and recovery") -----------
 
   /// The collective agreement point: all ranks either continue or throw the
-  /// same typed error (mpi::agreeOnError over this file's communicator).
-  /// Must be called at aligned program points by every rank.
+  /// same typed error. Plain mpi::agreeOnError without crash tolerance; the
+  /// liveness protocol (shrink + takeover on deaths) with it. Must be called
+  /// at aligned program points by every live rank.
   void collectiveAgreeOnError(const mpi::CapturedError& err);
+
+  // -- Fail-stop crash tolerance (TcioConfig::crash, DESIGN.md §8) -----------
+
+  /// Fires the rank's scheduled crash at this point, if armed: the rank
+  /// marks itself closed and unwinds with RankCrashedError — it never
+  /// touches the file, the window, or a collective again (fail-stop).
+  void crashPoint(CrashPoint point);
+  [[noreturn]] void die(const char* where);
+
+  /// Appends one WAL record per merged level-1 extent ahead of the level-2
+  /// transfer (the kMidJournal crash point lives here: a rank dying
+  /// mid-append leaves a torn tail).
+  void journalExtents(SegmentId seg, const std::vector<Extent>& extents);
+
+  /// Liveness-tracking agreement: runs epochs of mpi::agreeWithLiveness
+  /// until the dead set stops growing, handling each batch of deaths
+  /// (shrink, takeover, replay) as it is agreed. Returns the max-reduced
+  /// error outcome instead of throwing it, so close() can release resources
+  /// first. Throws RankCrashedError if *this* rank is declared dead
+  /// (self-fence). Falls back to plain agreeOnError when crash tolerance is
+  /// off.
+  std::pair<std::int32_t, std::string> agreeAndRecover(mpi::CapturedError err);
+
+  /// Recovery for one agreed batch of deaths (ranks of the *current*
+  /// communicator): shrink to the survivors, deterministically reassign the
+  /// dead ranks' segments (and any orphans they had adopted) round-robin
+  /// over the live original ranks into spare window slots, rebuild node
+  /// aggregation over the shrunk communicator, and replay journals for the
+  /// segments this rank adopted.
+  void handleDeaths(const std::vector<Rank>& dead_cur);
+
+  /// Replays every original rank's journal for the adopted segments:
+  /// into spare window slots before the drain, directly into the file (whole
+  /// reconstructed segments, matching healthy drain semantics) after it.
+  void replayOrphans(
+      const std::vector<std::pair<SegmentId, std::int64_t>>& mine);
+
+  /// Current owner (original-communicator rank) / local slot of segment `g`,
+  /// takeover overlay included.
+  Rank ownerOf(SegmentId g) const;
+  std::int64_t slotOnOwner(SegmentId g) const;
+  /// Rank of `orig` in the current (possibly shrunk) communicator. Identity
+  /// without crash tolerance; fails on a dead rank (routing must go through
+  /// ownerOf first).
+  Rank curOf(Rank orig) const;
+  /// Window slot count: doubled with crash tolerance (spare takeover slots).
+  std::int64_t slotCount() const {
+    return cfg_.segments_per_rank * (cfg_.crash.enabled ? 2 : 1);
+  }
+  /// (segment, local slot) pairs this rank owns: its original slots plus
+  /// adopted orphans.
+  std::vector<std::pair<SegmentId, std::int64_t>> ownedSlots() const;
 
   /// True when exchanges run through the two-sided staged path — either by
   /// configuration or because the RMA degradation ladder tripped.
@@ -239,6 +314,39 @@ class File {
   bool open_ = false;
   bool fallback_two_sided_ = false;
   TcioStats stats_;
+
+  // -- Crash-tolerance state (inert unless cfg_.crash.enabled) ---------------
+  static constexpr int kMaxShrinks = 8;  // reserved comm contexts per file
+
+  /// This rank's identity in the communicator the file was opened on.
+  /// Segment ownership, window targets, and journal names are all defined
+  /// over the *original* communicator; only collectives move to the shrunk
+  /// one.
+  Rank orig_rank_ = 0;
+  int orig_size_ = 1;
+  std::unique_ptr<CrashPlan> crash_plan_;
+  std::unique_ptr<Journal> journal_;
+  /// Shrunk communicators, kept alive for the life of the file (the window
+  /// stays on the original communicator; node maps point into these).
+  std::vector<std::unique_ptr<mpi::Comm>> shrunk_comms_;
+  int shrink_context_base_ = -1;  // reserved context block (rank-0 bcast)
+  int shrinks_ = 0;
+  int epoch_ = 0;  // liveness epochs consumed (aligned across live ranks)
+  std::vector<Rank> orig_of_cur_;  // current comm rank -> original rank
+  std::vector<Rank> cur_of_orig_;  // original rank -> current rank (-1 dead)
+  std::vector<bool> dead_;         // original rank -> declared dead?
+
+  /// Takeover overlay: orphaned segment -> (new owner, spare slot on it),
+  /// computed identically on every survivor.
+  struct Takeover {
+    Rank owner = -1;         // original-communicator rank
+    std::int64_t slot = -1;  // spare window slot on that rank
+  };
+  std::map<SegmentId, Takeover> orphans_;
+  std::vector<std::int64_t> next_spare_;  // per original rank
+  std::int64_t takeover_rr_ = 0;  // round-robin cursor over live ranks
+  bool drained_ = false;          // close() drained level-2 already
+  Bytes final_fsize_ = 0;         // agreed file size (post-drain replays)
 };
 
 }  // namespace tcio::core

@@ -1,0 +1,147 @@
+#include "tcio/journal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/error.h"
+
+namespace tcio::core {
+
+namespace {
+
+/// CRC over the frame body: seg, disp, len, payload (magic and the CRC
+/// field itself excluded).
+std::uint32_t frameCrc(std::int64_t seg, std::int64_t disp, std::int64_t len,
+                       std::span<const std::byte> payload) {
+  std::byte fields[24];
+  std::memcpy(fields + 0, &seg, 8);
+  std::memcpy(fields + 8, &disp, 8);
+  std::memcpy(fields + 16, &len, 8);
+  return crc32(payload, crc32({fields, sizeof(fields)}));
+}
+
+}  // namespace
+
+std::string journalPath(const std::string& file, Rank rank) {
+  return file + ".wal." + std::to_string(rank);
+}
+
+Journal::Journal(fs::FsClient& client, std::string path)
+    : client_(&client), path_(std::move(path)) {
+  file_ = client_->open(path_, fs::kCreate | fs::kTruncate | fs::kWrite);
+}
+
+Journal::~Journal() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an unclean journal handle only costs the
+    // simulated MDS a close it never saw.
+  }
+}
+
+void Journal::close() {
+  if (file_.valid()) client_->close(file_);
+}
+
+void Journal::append(std::int64_t seg, Offset disp,
+                     std::span<const std::byte> payload,
+                     std::int64_t torn_prefix) {
+  TCIO_CHECK_MSG(file_.valid(), "append on a closed journal");
+  const auto len = static_cast<std::int64_t>(payload.size());
+  std::vector<std::byte> frame(
+      static_cast<std::size_t>(kHeaderBytes) + payload.size());
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t crc = frameCrc(seg, disp, len, payload);
+  std::memcpy(frame.data() + 0, &magic, 4);
+  std::memcpy(frame.data() + 4, &crc, 4);
+  std::memcpy(frame.data() + 8, &seg, 8);
+  std::memcpy(frame.data() + 16, &disp, 8);
+  std::memcpy(frame.data() + 24, &len, 8);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  }
+  Bytes n = static_cast<Bytes>(frame.size());
+  if (torn_prefix >= 0) {
+    // Crash mid-append: only the prefix reaches the platter. The torn
+    // record is unreadable (short frame or CRC mismatch) by design.
+    n = std::min<Bytes>(n, torn_prefix);
+  }
+  if (n > 0) {
+    client_->appendJournal(file_, cursor_, frame.data(), n);
+  }
+  cursor_ += n;
+  ++records_;
+}
+
+void Journal::commit() {
+  TCIO_CHECK_MSG(file_.valid(), "commit on a closed journal");
+  if (cursor_ == 0) return;
+  // Truncating reopen: the journal's bytes are superseded by the committed
+  // file contents. One MDS round-trip, no data movement.
+  client_->close(file_);
+  file_ = client_->open(path_, fs::kCreate | fs::kTruncate | fs::kWrite);
+  cursor_ = 0;
+  records_ = 0;
+}
+
+Journal::Parsed Journal::parse(std::span<const std::byte> raw) {
+  Parsed out;
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    if (pos + static_cast<std::size_t>(kHeaderBytes) > raw.size()) {
+      ++out.torn_records;
+      break;
+    }
+    std::uint32_t magic = 0;
+    std::uint32_t crc = 0;
+    std::int64_t seg = 0;
+    std::int64_t disp = 0;
+    std::int64_t len = 0;
+    std::memcpy(&magic, raw.data() + pos + 0, 4);
+    std::memcpy(&crc, raw.data() + pos + 4, 4);
+    std::memcpy(&seg, raw.data() + pos + 8, 8);
+    std::memcpy(&disp, raw.data() + pos + 16, 8);
+    std::memcpy(&len, raw.data() + pos + 24, 8);
+    if (magic != kMagic || len < 0 ||
+        pos + static_cast<std::size_t>(kHeaderBytes) +
+                static_cast<std::size_t>(len) >
+            raw.size()) {
+      ++out.torn_records;
+      break;
+    }
+    const std::span<const std::byte> payload(
+        raw.data() + pos + static_cast<std::size_t>(kHeaderBytes),
+        static_cast<std::size_t>(len));
+    if (frameCrc(seg, disp, len, payload) != crc) {
+      ++out.torn_records;
+      break;
+    }
+    Record rec;
+    rec.seg = seg;
+    rec.disp = disp;
+    rec.payload.assign(payload.begin(), payload.end());
+    out.bytes_replayable += len;
+    out.records.push_back(std::move(rec));
+    pos += static_cast<std::size_t>(kHeaderBytes) +
+           static_cast<std::size_t>(len);
+  }
+  return out;
+}
+
+Journal::Parsed Journal::readAndParse(fs::FsClient& client,
+                                      const std::string& path) {
+  fs::FsFile f;
+  try {
+    f = client.open(path, fs::kRead);
+  } catch (const FileNotFound&) {
+    return {};  // journaling was off, or the rank never flushed
+  }
+  const Bytes size = client.size(f);
+  std::vector<std::byte> raw(static_cast<std::size_t>(size));
+  if (size > 0) client.pread(f, 0, raw.data(), size);
+  client.close(f);
+  return parse(raw);
+}
+
+}  // namespace tcio::core

@@ -147,5 +147,93 @@ TEST(FaultPlanTest, RmaDropDelayIsConfigured) {
   EXPECT_EQ(plan.rmaDropsInjected(), 1);
 }
 
+TEST(FaultPlanTest, OstRecoveryClearsPermanentFailure) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.fail_ost = 1;
+  cfg.fail_ost_after_requests = 2;
+  cfg.recover_ost_after_requests = 5;
+  FaultPlan plan(cfg);
+  EXPECT_FALSE(plan.ostFailed(1));  // not yet failed
+  for (int i = 0; i < 3; ++i) {
+    plan.nextFsRequest(FaultPlan::FsVerb::kWrite, 0, 0.0);
+  }
+  EXPECT_TRUE(plan.ostFailed(1));   // between the thresholds: dead
+  EXPECT_FALSE(plan.ostRecovered());
+  for (int i = 0; i < 3; ++i) {
+    plan.nextFsRequest(FaultPlan::FsVerb::kWrite, 0, 0.0);
+  }
+  EXPECT_TRUE(plan.ostRecovered());  // failover pair rejoined
+  EXPECT_FALSE(plan.ostFailed(1));   // routing home is legal again
+}
+
+TEST(FaultPlanTest, MdsFaultRatesAreSeededAndCounted) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 9;
+  cfg.mds_open_fail_rate = 0.5;
+  cfg.mds_close_fail_rate = 0.0;
+  const auto draw = [&cfg] {
+    FaultPlan plan(cfg);
+    std::vector<bool> outs;
+    for (int i = 0; i < 64; ++i) {
+      outs.push_back(plan.nextMdsOp(FaultPlan::MdsVerb::kOpen));
+      // Zero-rate verbs never fault and never consume an RNG draw that
+      // would perturb the open stream.
+      EXPECT_FALSE(plan.nextMdsOp(FaultPlan::MdsVerb::kClose));
+    }
+    return std::pair(outs, plan.mdsFaultsInjected());
+  };
+  const auto a = draw();
+  const auto b = draw();
+  EXPECT_EQ(a, b);               // seed-deterministic
+  EXPECT_GT(a.second, 0);        // some opens faulted
+  EXPECT_LT(a.second, 64);       // but not all
+}
+
+TEST(CrashPlanTest, FiresExactlyOnceAtScheduledOccurrence) {
+  FaultConfig cfg;
+  cfg.crashes.push_back({/*rank=*/1, CrashPoint::kAtCollective, /*after=*/2});
+  CrashPlan plan(cfg, /*rank=*/1);
+  EXPECT_TRUE(plan.armed());
+  EXPECT_FALSE(plan.fires(CrashPoint::kMidRma));  // other points don't count
+  EXPECT_FALSE(plan.fires(CrashPoint::kAtCollective));  // occurrence 0
+  EXPECT_FALSE(plan.fires(CrashPoint::kAtCollective));  // occurrence 1
+  EXPECT_TRUE(plan.fires(CrashPoint::kAtCollective));   // occurrence 2: dies
+  EXPECT_FALSE(plan.fires(CrashPoint::kAtCollective));  // already dead
+}
+
+TEST(CrashPlanTest, ScheduleFiltersByRank) {
+  FaultConfig cfg;
+  cfg.crashes.push_back({/*rank=*/3, CrashPoint::kMidClose, /*after=*/0});
+  CrashPlan victim(cfg, /*rank=*/3);
+  CrashPlan bystander(cfg, /*rank=*/0);
+  EXPECT_TRUE(victim.armed());
+  EXPECT_FALSE(bystander.armed());
+  EXPECT_FALSE(bystander.fires(CrashPoint::kMidClose));
+  EXPECT_TRUE(victim.fires(CrashPoint::kMidClose));
+}
+
+TEST(CrashPlanTest, TornBytesDeterministicAndInRange) {
+  FaultConfig cfg;
+  cfg.seed = 21;
+  cfg.crashes.push_back({/*rank=*/0, CrashPoint::kMidJournal, /*after=*/0});
+  const auto draw = [&cfg](Rank rank) {
+    CrashPlan plan(cfg, rank);
+    std::vector<std::int64_t> torn;
+    for (int i = 0; i < 32; ++i) torn.push_back(plan.tornBytes(100));
+    return torn;
+  };
+  const auto a = draw(0);
+  EXPECT_EQ(a, draw(0));   // same (seed, rank): same torn prefixes
+  EXPECT_NE(a, draw(1));   // rank-salted stream
+  for (const std::int64_t t : a) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 100);  // a torn write never completes the frame
+  }
+  CrashPlan plan(cfg, 0);
+  EXPECT_EQ(plan.tornBytes(0), 0);
+}
+
 }  // namespace
 }  // namespace tcio

@@ -287,6 +287,41 @@ TEST(FilesystemTest, PermanentOstFailureRemapsToSurvivors) {
   EXPECT_GT(fs.stats().chunks_remapped, 0);
 }
 
+TEST(FilesystemTest, RecoveredOstRebalancesRemappedChunksHome) {
+  Filesystem fs(testCfg());
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.fail_ost = 0;
+  fault.fail_ost_after_requests = 0;     // dead from the first request
+  fault.recover_ost_after_requests = 8;  // failover pair rejoins later
+  fs.installFaultPlan(fault);
+  mpi::runJob(job(1), [&](mpi::Comm& comm) {
+    FsClient fc(fs, comm.proc());
+    FsFile f = fc.open("reb.dat", kRead | kWrite | kCreate,
+                       /*stripe_count=*/4);
+    std::vector<int> data(1024, 7);
+    const Bytes n = static_cast<Bytes>(data.size() * sizeof(int));
+    EXPECT_THROW(fc.pwrite(f, 0, data.data(), n), OstFailedError);
+    // Degraded mode while OST 0 is down: remap its chunks, write, read.
+    EXPECT_GT(fc.remapFailedChunks(f, 0, n), 0);
+    fc.pwrite(f, 0, data.data(), n);
+    std::vector<int> out(data.size(), 0);
+    // Keep issuing I/O until the request counter crosses the recovery
+    // threshold; the first operation after that rebalances the remapped
+    // chunks back to their home (striping-layout) OST.
+    for (int i = 0; i < 8 && fs.stats().chunks_rebalanced == 0; ++i) {
+      fc.pread(f, 0, out.data(), n);
+    }
+    EXPECT_GT(fs.stats().chunks_rebalanced, 0);
+    // Contents survive the rebalance, and routing home is clean (no
+    // OstFailedError now that the OST recovered).
+    fc.pread(f, 0, out.data(), n);
+    EXPECT_EQ(out, data);
+    fc.close(f);
+  });
+  EXPECT_GT(fs.stats().chunks_remapped, 0);
+}
+
 TEST(FilesystemTest, StatsTrackRequests) {
   Filesystem fs(testCfg());
   mpi::runJob(job(1), [&](mpi::Comm& comm) {

@@ -1,0 +1,141 @@
+// Unit tests for the liveness-tracking agreement protocol in isolation
+// (no TCIO on top): all-live epochs agree on the max error class, a silent
+// rank is unanimously declared dead, survivors can run further epochs on
+// the shrunk membership, and verdicts are deterministic.
+#include "mpi/liveness.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/error.h"
+#include "mpi/runtime.h"
+
+namespace tcio::mpi {
+namespace {
+
+constexpr SimTime kWindow = 50.0e-3;
+constexpr SimTime kPoll = 1.0e-3;
+
+TEST(LivenessTest, AllLiveNoErrorAgreesClean) {
+  mpi::JobConfig jc;
+  jc.num_ranks = 5;
+  runJob(jc, [&](Comm& comm) {
+    const LivenessOutcome out =
+        agreeWithLiveness(comm, CapturedError{}, /*epoch=*/0, kWindow, kPoll);
+    EXPECT_TRUE(out.dead.empty());
+    EXPECT_FALSE(out.self_dead);
+    EXPECT_EQ(out.code, CapturedError::kNone);
+  });
+}
+
+TEST(LivenessTest, AllLiveMaxErrorClassWins) {
+  mpi::JobConfig jc;
+  jc.num_ranks = 4;
+  runJob(jc, [&](Comm& comm) {
+    CapturedError err;
+    if (comm.rank() == 1) {
+      try {
+        throw TransientFsError("slow disk");
+      } catch (const std::exception& e) {
+        err.capture(e);
+      }
+    }
+    if (comm.rank() == 3) {
+      try {
+        throw NoSpaceError("ost 2 full");
+      } catch (const std::exception& e) {
+        err.capture(e);
+      }
+    }
+    const LivenessOutcome out =
+        agreeWithLiveness(comm, err, /*epoch=*/0, kWindow, kPoll);
+    EXPECT_TRUE(out.dead.empty());
+    // kNoSpace outranks kTransientFs; every rank sees the same winner.
+    EXPECT_EQ(out.code, CapturedError::kNoSpace);
+    EXPECT_NE(out.what.find("ost 2 full"), std::string::npos);
+  });
+}
+
+TEST(LivenessTest, SilentRankUnanimouslyDeclaredDead) {
+  mpi::JobConfig jc;
+  jc.num_ranks = 6;
+  std::array<std::vector<Rank>, 6> verdicts;
+  runJob(jc, [&](Comm& comm) {
+    if (comm.rank() == 2) return;  // fail-stop: never calls the agreement
+    const LivenessOutcome out =
+        agreeWithLiveness(comm, CapturedError{}, /*epoch=*/0, kWindow, kPoll);
+    verdicts[static_cast<std::size_t>(comm.rank())] = out.dead;
+    EXPECT_FALSE(out.self_dead);
+    const std::vector<Rank> surv = out.survivors(comm.size());
+    EXPECT_EQ(surv, (std::vector<Rank>{0, 1, 3, 4, 5}));
+  });
+  for (const int r : {0, 1, 3, 4, 5}) {
+    EXPECT_EQ(verdicts[static_cast<std::size_t>(r)],
+              (std::vector<Rank>{2}))
+        << "rank " << r << " disagreed on the dead set";
+  }
+}
+
+TEST(LivenessTest, SurvivorsContinueAcrossEpochsAndShrink) {
+  mpi::JobConfig jc;
+  jc.num_ranks = 5;
+  runJob(jc, [&](Comm& comm) {
+    const int ctx = [&] {
+      int base = 0;
+      if (comm.rank() == 0) base = comm.reserveContexts(1);
+      comm.bcast(&base, sizeof(base), 0);
+      return base;
+    }();
+    if (comm.rank() == 4) return;  // dies before epoch 0
+    const LivenessOutcome e0 =
+        agreeWithLiveness(comm, CapturedError{}, /*epoch=*/0, kWindow, kPoll);
+    ASSERT_EQ(e0.dead, (std::vector<Rank>{4}));
+    Comm shrunk = comm.shrink(e0.survivors(comm.size()), ctx);
+    ASSERT_EQ(shrunk.size(), 4);
+    // Epoch 1 on the shrunk communicator: everyone present, clean verdict.
+    const LivenessOutcome e1 = agreeWithLiveness(shrunk, CapturedError{},
+                                                 /*epoch=*/1, kWindow, kPoll);
+    EXPECT_TRUE(e1.dead.empty());
+    // The shrunk communicator supports plain collectives again.
+    std::int64_t sum = shrunk.rank();
+    shrunk.allreduce(&sum, 1, ReduceOp::kSum);
+    EXPECT_EQ(sum, 0 + 1 + 2 + 3);
+  });
+}
+
+TEST(LivenessTest, TwoSilentRanksBothDeclaredDead) {
+  mpi::JobConfig jc;
+  jc.num_ranks = 6;
+  runJob(jc, [&](Comm& comm) {
+    if (comm.rank() == 0 || comm.rank() == 5) return;
+    const LivenessOutcome out =
+        agreeWithLiveness(comm, CapturedError{}, /*epoch=*/0, kWindow, kPoll);
+    EXPECT_EQ(out.dead, (std::vector<Rank>{0, 5}));
+    EXPECT_FALSE(out.self_dead);
+  });
+}
+
+TEST(LivenessTest, DeterministicVerdictAndTiming) {
+  auto once = [] {
+    mpi::JobConfig jc;
+    jc.num_ranks = 6;
+    SimTime t_after = 0;
+    const JobResult jr = runJob(jc, [&](Comm& comm) {
+      if (comm.rank() == 3) return;
+      const LivenessOutcome out = agreeWithLiveness(
+          comm, CapturedError{}, /*epoch=*/0, kWindow, kPoll);
+      EXPECT_EQ(out.dead, (std::vector<Rank>{3}));
+      if (comm.rank() == 0) t_after = comm.proc().now();
+    });
+    return std::pair(jr.makespan, t_after);
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace tcio::mpi

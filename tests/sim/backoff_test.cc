@@ -1,0 +1,152 @@
+// Unit tests for the retry backoff schedule: exponential growth with cap,
+// deterministic jitter from the seed, 1-based attempt accounting, and the
+// typed error the FsClient raises when a multi-attempt budget is exhausted.
+#include "sim/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fs/client.h"
+#include "fs/filesystem.h"
+#include "mpi/runtime.h"
+
+namespace tcio::sim {
+namespace {
+
+RetryPolicy policy() {
+  RetryPolicy p;
+  p.max_attempts = 8;
+  p.base_backoff = 1.0e-3;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff = 8.0e-3;
+  p.jitter_fraction = 0.5;
+  return p;
+}
+
+TEST(BackoffTest, JitterIsDeterministicFromSeed) {
+  RetryPolicy p = policy();
+  Rng a(42), b(42), c(43);
+  std::vector<SimTime> da, db, dc;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    da.push_back(backoffDelay(p, attempt, a));
+    db.push_back(backoffDelay(p, attempt, b));
+    dc.push_back(backoffDelay(p, attempt, c));
+  }
+  EXPECT_EQ(da, db);  // same seed, bit-identical schedule
+  EXPECT_NE(da, dc);  // different seed, different jitter draws
+}
+
+TEST(BackoffTest, ExponentialGrowthBoundedByCapAndJitter) {
+  RetryPolicy p = policy();
+  Rng rng(7);
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    const SimTime d = backoffDelay(p, attempt, rng);
+    double nominal = p.base_backoff;
+    for (int i = 1; i < attempt; ++i) nominal *= p.backoff_multiplier;
+    nominal = std::min(nominal, p.max_backoff);
+    EXPECT_GE(d, nominal * (1 - p.jitter_fraction / 2));
+    EXPECT_LE(d, nominal * (1 + p.jitter_fraction / 2));
+  }
+}
+
+TEST(BackoffTest, ZeroJitterIsExactExponential) {
+  RetryPolicy p = policy();
+  p.jitter_fraction = 0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(backoffDelay(p, 1, rng), 1.0e-3);
+  EXPECT_DOUBLE_EQ(backoffDelay(p, 2, rng), 2.0e-3);
+  EXPECT_DOUBLE_EQ(backoffDelay(p, 3, rng), 4.0e-3);
+  EXPECT_DOUBLE_EQ(backoffDelay(p, 5, rng), 8.0e-3);  // capped
+}
+
+TEST(BackoffTest, AttemptNumbersAreOneBased) {
+  RetryPolicy p = policy();
+  Rng rng(1);
+  EXPECT_THROW(backoffDelay(p, 0, rng), Error);
+  EXPECT_THROW(backoffDelay(p, -3, rng), Error);
+}
+
+TEST(BackoffTest, InvalidPolicyRejected) {
+  Rng rng(1);
+  RetryPolicy bad = policy();
+  bad.backoff_multiplier = 0.5;  // shrinking backoff is a config bug
+  EXPECT_THROW(backoffDelay(bad, 1, rng), Error);
+  bad = policy();
+  bad.jitter_fraction = 3.0;  // would allow negative delays
+  EXPECT_THROW(backoffDelay(bad, 1, rng), Error);
+}
+
+// Exhausting a multi-attempt budget surfaces the typed RetryExhaustedError
+// (catchable as TransientFsError) with exact attempt accounting; with retry
+// disabled the original error class is preserved unchanged.
+TEST(BackoffTest, RetryExhaustionIsTypedWithAttemptCount) {
+  fs::FsConfig fcfg;
+  fcfg.num_osts = 1;
+  fcfg.stripe_size = 1024;
+  fs::Filesystem fsys(fcfg);
+  FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 11;
+  faults.fs_transient_write_rate = 1.0;  // every write faults
+  fsys.installFaultPlan(faults);
+
+  mpi::JobConfig jc;
+  jc.num_ranks = 1;
+  mpi::runJob(jc, [&](mpi::Comm& comm) {
+    RetryPolicy p = policy();
+    p.max_attempts = 4;
+    fs::FsClient fc(fsys, comm.proc());
+    fc.setRetryPolicy(p);
+    fs::FsFile f = fc.open("r.dat", fs::kWrite | fs::kCreate);
+    const char buf[16] = {};
+    bool caught = false;
+    try {
+      fc.pwrite(f, 0, buf, sizeof(buf));
+    } catch (const RetryExhaustedError& e) {
+      caught = true;
+      EXPECT_EQ(e.attempts, 4);
+      EXPECT_NE(std::string(e.what()).find("pwrite"), std::string::npos);
+    }
+    EXPECT_TRUE(caught);
+    EXPECT_EQ(fc.retryStats().transient_faults, 4);
+    EXPECT_EQ(fc.retryStats().retries, 3);  // 4 attempts = 3 backoffs
+    EXPECT_EQ(fc.retryStats().giveups, 1);
+  });
+}
+
+TEST(BackoffTest, SingleAttemptPreservesOriginalErrorClass) {
+  fs::FsConfig fcfg;
+  fcfg.num_osts = 1;
+  fcfg.stripe_size = 1024;
+  fs::Filesystem fsys(fcfg);
+  FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 11;
+  faults.fs_transient_write_rate = 1.0;
+  fsys.installFaultPlan(faults);
+
+  mpi::JobConfig jc;
+  jc.num_ranks = 1;
+  mpi::runJob(jc, [&](mpi::Comm& comm) {
+    fs::FsClient fc(fsys, comm.proc());  // default policy: max_attempts == 1
+    fs::FsFile f = fc.open("s.dat", fs::kWrite | fs::kCreate);
+    const char buf[16] = {};
+    bool plain_transient = false;
+    try {
+      fc.pwrite(f, 0, buf, sizeof(buf));
+    } catch (const RetryExhaustedError&) {
+      // Wrong: no retry was configured, the original class must surface.
+    } catch (const TransientFsError&) {
+      plain_transient = true;
+    }
+    EXPECT_TRUE(plain_transient);
+    EXPECT_EQ(fc.retryStats().retries, 0);
+    EXPECT_EQ(fc.retryStats().giveups, 1);
+  });
+}
+
+}  // namespace
+}  // namespace tcio::sim

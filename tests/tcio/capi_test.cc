@@ -117,6 +117,49 @@ TEST(CApiTest, ModeConstantsMatchFsFlags) {
   EXPECT_EQ(TCIO_TRUNC, static_cast<int>(fs::kTruncate));
 }
 
+TEST(CApiTest, StatsReportHealthyRunAsZero) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    tcio_set_context(comm, fsys, smallTcio());
+    tcio_file* fh = tcio_open("healthy.dat", TCIO_WRONLY | TCIO_CREATE);
+    const std::int32_t v = comm.rank();
+    tcio_write_at(fh, comm.rank() * 4, &v, 1, mpi::Datatype::int32());
+    tcio_flush(fh);
+    tcio_stats_t st;
+    tcio_stats(fh, &st);
+    EXPECT_EQ(st.degraded, 0);
+    EXPECT_EQ(st.fs_transient_faults, 0);
+    EXPECT_EQ(st.ranks_crashed, 0);
+    EXPECT_EQ(st.journal_records_replayed, 0);
+    tcio_close(fh);
+  });
+}
+
+TEST(CApiTest, StatsSurfaceRetryAndDegradedCounters) {
+  fs::Filesystem fsys(fsCfg());
+  core::TcioConfig cfg = smallTcio();
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 5;
+  cfg.faults.fs_transient_write_rate = 0.5;
+  cfg.retry.max_attempts = 8;
+  mpi::runJob(job(2), [&](mpi::Comm& comm) {
+    tcio_set_context(comm, fsys, cfg);
+    tcio_file* fh = tcio_open("degraded.dat", TCIO_WRONLY | TCIO_CREATE);
+    std::vector<std::byte> buf(1024, std::byte{0x11});
+    fh->writeAt(comm.rank() * 1024, buf.data(), 1024);
+    // Close drains level-2 to the OSTs — that is where the seeded transient
+    // faults hit and the retry loop absorbs them. Those counters are only
+    // observable through the closing stats variant: plain tcio_close frees
+    // the handle before they could be read.
+    tcio_stats_t st;
+    tcio_close_stats(fh, &st);
+    EXPECT_GT(st.fs_transient_faults, 0);
+    EXPECT_EQ(st.fs_retries, st.fs_transient_faults);  // none exhausted
+    EXPECT_EQ(st.fs_retry_giveups, 0);
+    EXPECT_EQ(st.degraded, 1);
+  });
+}
+
 TEST(CApiTest, TwoFilesConcurrently) {
   fs::Filesystem fsys(fsCfg());
   mpi::runJob(job(2), [&](mpi::Comm& comm) {

@@ -1,0 +1,160 @@
+// Unit tests for the crash-consistent segment journal: frame round-trip,
+// torn-tail handling (short frames, bad magic, CRC mismatch), commit
+// truncation, and the costed read path.
+#include "tcio/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fs/client.h"
+#include "fs/filesystem.h"
+#include "mpi/runtime.h"
+
+namespace tcio::core {
+namespace {
+
+fs::FsConfig fsCfg() {
+  fs::FsConfig c;
+  c.num_osts = 2;
+  c.stripe_size = 1024;
+  return c;
+}
+
+std::vector<std::byte> payload(std::size_t n, int salt) {
+  std::vector<std::byte> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::byte>((salt * 31 + i) % 251);
+  }
+  return p;
+}
+
+void withClient(const std::function<void(fs::FsClient&)>& body) {
+  fs::Filesystem fsys(fsCfg());
+  mpi::JobConfig jc;
+  jc.num_ranks = 1;
+  mpi::runJob(jc, [&](mpi::Comm& comm) {
+    fs::FsClient fc(fsys, comm.proc());
+    body(fc);
+  });
+}
+
+TEST(JournalTest, AppendReadParseRoundTrip) {
+  withClient([](fs::FsClient& fc) {
+    const std::string path = journalPath("data.dat", 3);
+    EXPECT_EQ(path, "data.dat.wal.3");
+    Journal j(fc, path);
+    const auto p0 = payload(100, 1);
+    const auto p1 = payload(37, 2);
+    j.append(5, 64, p0);
+    j.append(9, 0, p1);
+    EXPECT_EQ(j.recordsAppended(), 2);
+    EXPECT_EQ(j.bytesAppended(),
+              2 * Journal::kHeaderBytes + 100 + 37);
+    const Journal::Parsed parsed = Journal::readAndParse(fc, path);
+    ASSERT_EQ(parsed.records.size(), 2u);
+    EXPECT_EQ(parsed.torn_records, 0);
+    EXPECT_EQ(parsed.bytes_replayable, 137);
+    EXPECT_EQ(parsed.records[0].seg, 5);
+    EXPECT_EQ(parsed.records[0].disp, 64);
+    EXPECT_EQ(parsed.records[0].payload, p0);
+    EXPECT_EQ(parsed.records[1].seg, 9);
+    EXPECT_EQ(parsed.records[1].disp, 0);
+    EXPECT_EQ(parsed.records[1].payload, p1);
+  });
+}
+
+TEST(JournalTest, TornTailDroppedIntactPrefixSurvives) {
+  withClient([](fs::FsClient& fc) {
+    const std::string path = journalPath("data.dat", 0);
+    Journal j(fc, path);
+    const auto good = payload(64, 3);
+    j.append(1, 0, good);
+    // Crash mid-append: only 10 bytes of the second frame hit the platter.
+    j.append(2, 128, payload(64, 4), /*torn_prefix=*/10);
+    const Journal::Parsed parsed = Journal::readAndParse(fc, path);
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_EQ(parsed.records[0].payload, good);
+    EXPECT_EQ(parsed.torn_records, 1);
+    EXPECT_EQ(parsed.bytes_replayable, 64);
+  });
+}
+
+TEST(JournalTest, TornAtZeroBytesLeavesNoTrace) {
+  withClient([](fs::FsClient& fc) {
+    const std::string path = journalPath("data.dat", 0);
+    Journal j(fc, path);
+    j.append(1, 0, payload(16, 5), /*torn_prefix=*/0);
+    const Journal::Parsed parsed = Journal::readAndParse(fc, path);
+    EXPECT_TRUE(parsed.records.empty());
+    // Nothing reached the device, so there is no torn frame to count.
+    EXPECT_EQ(parsed.torn_records, 0);
+  });
+}
+
+TEST(JournalTest, CorruptPayloadFailsCrcAndStopsScan) {
+  const auto p0 = payload(48, 6);
+  std::vector<std::byte> raw;
+  {
+    // Build two valid frames by hand via a real journal, then flip a bit.
+    fs::Filesystem fsys(fsCfg());
+    mpi::JobConfig jc;
+    jc.num_ranks = 1;
+    mpi::runJob(jc, [&](mpi::Comm& comm) {
+      fs::FsClient fc(fsys, comm.proc());
+      Journal j(fc, "x.wal.0");
+      j.append(0, 0, p0);
+      j.append(1, 0, p0);
+      fs::FsFile f = fc.open("x.wal.0", fs::kRead);
+      raw.resize(static_cast<std::size_t>(fc.size(f)));
+      fc.pread(f, 0, raw.data(), static_cast<Bytes>(raw.size()));
+      fc.close(f);
+    });
+  }
+  raw[static_cast<std::size_t>(Journal::kHeaderBytes) + 5] ^= std::byte{0x40};
+  const Journal::Parsed parsed = Journal::parse(raw);
+  // First frame's payload is corrupt: CRC rejects it and the scan stops —
+  // record 2 is unreachable (appends are sequential, so a bad frame means
+  // everything after it is suspect).
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_EQ(parsed.torn_records, 1);
+}
+
+TEST(JournalTest, CommitTruncatesAndLogStaysUsable) {
+  withClient([](fs::FsClient& fc) {
+    const std::string path = journalPath("data.dat", 1);
+    Journal j(fc, path);
+    j.append(4, 8, payload(32, 7));
+    j.commit();
+    EXPECT_EQ(j.bytesAppended(), 0);
+    EXPECT_EQ(j.recordsAppended(), 0);
+    EXPECT_TRUE(Journal::readAndParse(fc, path).records.empty());
+    // The log survives a commit: post-commit appends parse normally.
+    const auto p = payload(16, 8);
+    j.append(6, 256, p);
+    const Journal::Parsed parsed = Journal::readAndParse(fc, path);
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_EQ(parsed.records[0].seg, 6);
+    EXPECT_EQ(parsed.records[0].payload, p);
+  });
+}
+
+TEST(JournalTest, MissingFileParsesEmpty) {
+  withClient([](fs::FsClient& fc) {
+    const Journal::Parsed parsed =
+        Journal::readAndParse(fc, "never-created.wal.9");
+    EXPECT_TRUE(parsed.records.empty());
+    EXPECT_EQ(parsed.torn_records, 0);
+  });
+}
+
+TEST(JournalTest, GarbageMagicCountsTorn) {
+  std::vector<std::byte> raw(64, std::byte{0xab});
+  const Journal::Parsed parsed = Journal::parse(raw);
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_EQ(parsed.torn_records, 1);
+}
+
+}  // namespace
+}  // namespace tcio::core

@@ -7,6 +7,10 @@
 # timeout and a timeout is reported as HANG, not lumped in with assertion
 # failures.
 #
+# Every seed runs with the runtime correctness checker attached
+# (TCIO_CHECK=1): crash seeds must not only converge, they must do so without
+# tripping collective-matching, RMA-epoch, or segment-ownership verification.
+#
 #   TCIO_FAULT_SEEDS    number of seeds to sweep (default 20)
 #   TCIO_SOAK_TIMEOUT   per-seed wall-clock limit in seconds (default 300)
 set -euo pipefail
@@ -23,7 +27,7 @@ fails=0
 hangs=0
 for ((seed = 1; seed <= SEEDS; seed++)); do
   rc=0
-  TCIO_FAULT_SEED=$seed timeout "$LIMIT" \
+  TCIO_FAULT_SEED=$seed TCIO_CHECK=1 timeout "$LIMIT" \
     ctest --test-dir "$BUILD" --output-on-failure \
     -R 'TcioFaultMatrix|TcioCrashMatrix|TcioCrashRecovery' \
     >"/tmp/fault_soak_$seed.log" 2>&1 || rc=$?

@@ -28,6 +28,11 @@ void CapturedError::capture(const std::exception& e) {
 }
 
 void agreeOnError(Comm& comm, const CapturedError& local) {
+  // Label the agreement point itself, so a rank that skips it (or reaches a
+  // different collective) is diagnosed against "agreeOnError" rather than
+  // one of the allreduces it is built from.
+  comm.checkCollective(check::CollOp::kAgree, -1, check::kUncheckedBytes,
+                       "agreeOnError");
   std::int32_t code = local.code;
   comm.allreduce(&code, 1, ReduceOp::kMax);
   if (code == CapturedError::kNone) return;  // fast path: nobody failed

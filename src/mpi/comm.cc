@@ -185,7 +185,26 @@ RecvStatus Comm::wait(Request& req) {
   if (st.recv != nullptr) {
     // Wait on the underlying receive event (the request-level event is only
     // completed for immediate matches).
+    check::Checker* ck = world_->checker();
+    const bool track = ck != nullptr && st.recv->want_src != kAnySource;
+    if (track) {
+      // Sends are eager/buffered, so a blocked receive means the peer never
+      // sent: a cycle of blocked receives is a true deadlock.
+      const Rank target = worldRank(st.recv->want_src);
+      proc_->atomic([&] {
+        // The closure keeps the receive state alive so the checker's stored
+        // event pointer can never dangle.
+        ck->beginWait(proc_->rank(),
+                      [target, keep = st.recv] {
+                        return std::vector<Rank>{target};
+                      },
+                      &st.recv->ev, "MPI_Recv");
+      });
+    }
     proc_->wait(st.recv->ev, "MPI_Recv");
+    if (track) {
+      proc_->atomic([&] { ck->endWait(proc_->rank()); });
+    }
     RecvStatus status{st.recv->src, st.recv->tag, st.recv->received};
     req.state_.reset();
     return status;
@@ -244,6 +263,11 @@ Comm Comm::split(int color, int key) {
     if (members[i].rank == rank_) my_new_rank = static_cast<Rank>(i);
   }
   TCIO_CHECK(my_new_rank >= 0);
+  if (check::Checker* ck = world_->checker()) {
+    proc_->atomic([&] {
+      ck->registerComm(base + color_index, static_cast<int>(members.size()));
+    });
+  }
   return Comm(*world_, *proc_, std::move(group), my_new_rank,
               base + color_index);
 }
@@ -263,6 +287,11 @@ Comm Comm::shrink(const std::vector<Rank>& survivors, int context) const {
     if (r == rank_) my_new_rank = static_cast<Rank>(i);
   }
   TCIO_CHECK_MSG(my_new_rank >= 0, "shrink caller must be a survivor");
+  if (check::Checker* ck = world_->checker()) {
+    proc_->atomic([&] {
+      ck->registerComm(context, static_cast<int>(group.size()));
+    });
+  }
   return Comm(*world_, *proc_, std::move(group), my_new_rank, context);
 }
 
@@ -274,7 +303,18 @@ Comm Comm::splitByNode(int key) { return split(nodeOf(rank_), key); }
 
 // -- Collectives --------------------------------------------------------------
 
+void Comm::checkCollective(check::CollOp op, Rank root, Bytes bytes,
+                           const char* site) {
+  check::Checker* ck = world_->checker();
+  if (ck == nullptr) return;
+  proc_->atomic([&] {
+    ck->onCollective(context_, rank_, proc_->rank(), op, root, bytes, site);
+  });
+}
+
 void Comm::barrier() {
+  checkCollective(check::CollOp::kBarrier, -1, check::kUncheckedBytes,
+                  "Comm::barrier");
   const int P = size();
   const int tag = nextCollectiveTag();
   int round = 0;
@@ -288,6 +328,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast(void* buf, Bytes n, Rank root) {
+  checkCollective(check::CollOp::kBcast, root, n, "Comm::bcast");
   const int P = size();
   if (P == 1) return;
   const int tag = nextCollectiveTag();
@@ -314,6 +355,7 @@ void Comm::bcast(void* buf, Bytes n, Rank root) {
 void Comm::reduceBytes(void* data, Bytes n,
                        const std::function<void(void*, const void*)>& combine,
                        Rank root) {
+  checkCollective(check::CollOp::kReduce, root, n, "Comm::reduce");
   const int P = size();
   if (P == 1) return;
   const int tag = nextCollectiveTag();
@@ -346,6 +388,7 @@ void Comm::allreduceBytes(
 }
 
 void Comm::gather(const void* mine, Bytes per, void* out, Rank root) {
+  checkCollective(check::CollOp::kGather, root, per, "Comm::gather");
   const int tag = nextCollectiveTag();
   if (rank_ == root) {
     auto* dst = static_cast<std::byte*>(out);
@@ -362,6 +405,7 @@ void Comm::gather(const void* mine, Bytes per, void* out, Rank root) {
 }
 
 void Comm::scatter(const void* in, Bytes per, void* mine, Rank root) {
+  checkCollective(check::CollOp::kScatter, root, per, "Comm::scatter");
   const int tag = nextCollectiveTag();
   if (rank_ == root) {
     const auto* src = static_cast<const std::byte*>(in);
@@ -425,6 +469,7 @@ RecvStatus Comm::recvTyped(void* buf, std::int64_t count,
 }
 
 void Comm::allgather(const void* mine, Bytes per, void* out) {
+  checkCollective(check::CollOp::kAllgather, -1, per, "Comm::allgather");
   const int P = size();
   auto* dst = static_cast<std::byte*>(out);
   std::memcpy(dst + static_cast<std::size_t>(rank_) * per, mine,
@@ -467,6 +512,10 @@ void Comm::alltoallv(const void* sendbuf, std::span<const Bytes> sendcounts,
                      std::span<const Offset> senddispls, void* recvbuf,
                      std::span<const Bytes> recvcounts,
                      std::span<const Offset> recvdispls) {
+  // Per-peer counts legitimately differ across ranks; only the op kind and
+  // call position are part of the matching signature.
+  checkCollective(check::CollOp::kAlltoallv, -1, check::kUncheckedBytes,
+                  "Comm::alltoallv");
   const int P = size();
   TCIO_CHECK(static_cast<int>(sendcounts.size()) == P);
   TCIO_CHECK(static_cast<int>(recvcounts.size()) == P);
@@ -515,8 +564,22 @@ void Comm::alltoallv(const void* sendbuf, std::span<const Bytes> sendcounts,
     }
   });
   p.advanceTo(free_at);
+  check::Checker* ck = world_->checker();
   for (auto& pr : pending) {
+    if (ck != nullptr) {
+      const Rank target = worldRank(pr->want_src);
+      p.atomic([&] {
+        ck->beginWait(p.rank(),
+                      [target, keep = pr] {
+                        return std::vector<Rank>{target};
+                      },
+                      &pr->ev, "MPI_Alltoallv");
+      });
+    }
     p.wait(pr->ev, "MPI_Alltoallv");
+    if (ck != nullptr) {
+      p.atomic([&] { ck->endWait(p.rank()); });
+    }
   }
 }
 

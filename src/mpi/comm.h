@@ -158,6 +158,13 @@ class Comm {
                  std::span<const Bytes> recvcounts,
                  std::span<const Offset> recvdispls);
 
+  /// Checker hook: records and cross-verifies this rank's next collective
+  /// call on this communicator (see check/checker.h). Public so sibling
+  /// layers (RMA window creation, error agreement) can label their own
+  /// collective points. No-op when the checker is disabled.
+  void checkCollective(check::CollOp op, Rank root, Bytes bytes,
+                       const char* site);
+
   /// Charge local memory-copy time for `n` bytes (pack/unpack costs).
   void chargeCopy(Bytes n) {
     proc_->advance(static_cast<double>(n) / world_->config().memcpy_bandwidth);

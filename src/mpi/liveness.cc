@@ -23,12 +23,24 @@ struct VoteMsg {
   std::int32_t code = 0;
 };
 
-struct VerdictMsg {
+/// Fixed-size header of a verdict message; `words` 64-bit suspicion bitmap
+/// words follow on the wire (word r/64, bit r%64 set = sender suspects rank
+/// r). Every rank derives the same word count from the communicator size, so
+/// the wire size is deterministic.
+struct VerdictHeader {
   std::int32_t epoch = 0;
   std::int32_t code = 0;
-  std::uint64_t suspects = 0;  // bit r set = sender suspects rank r
+  std::int32_t words = 0;
   char what[160] = {};
 };
+
+void setBit(std::vector<std::uint64_t>& bits, Rank r) {
+  bits[static_cast<std::size_t>(r) >> 6] |= std::uint64_t{1} << (r & 63);
+}
+
+bool testBit(const std::vector<std::uint64_t>& bits, Rank r) {
+  return ((bits[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1) != 0;
+}
 
 }  // namespace
 
@@ -50,8 +62,9 @@ LivenessOutcome agreeWithLiveness(Comm& comm, const CapturedError& local,
                                   int epoch, SimTime window, SimTime poll) {
   const int P = comm.size();
   const Rank me = comm.rank();
-  TCIO_CHECK_MSG(P <= 64, "liveness agreement supports at most 64 ranks");
   TCIO_CHECK_MSG(window > 0 && poll > 0, "liveness window/poll must be > 0");
+  /// Suspicion bitmap width in 64-bit words (any communicator size).
+  const std::size_t kWords = static_cast<std::size_t>(P + 63) / 64;
 
   LivenessOutcome out;
   out.code = local.code;
@@ -71,7 +84,7 @@ LivenessOutcome agreeWithLiveness(Comm& comm, const CapturedError& local,
     }
     comm.waitAll(sends);
   }
-  std::uint64_t suspects = 0;
+  std::vector<std::uint64_t> suspects(kWords, 0);
   const SimTime vote_deadline = comm.proc().now() + window;
   for (Rank r = 0; r < P; ++r) {
     if (r == me) continue;
@@ -85,55 +98,75 @@ LivenessOutcome agreeWithLiveness(Comm& comm, const CapturedError& local,
         if (in.code > out.code) out.code = in.code;
       }
     } else {
-      suspects |= std::uint64_t{1} << r;
+      setBit(suspects, r);
     }
   }
 
   // -- Round 2: verdict -------------------------------------------------------
+  // A verdict is a fixed header followed by the word-vector suspicion
+  // bitmap, so any communicator size works (the bitmap was a single
+  // uint64_t — and the protocol P <= 64 — before).
   const int tag_verdict = livenessTag(epoch, 1);
-  VerdictMsg verdict;
-  verdict.epoch = static_cast<std::int32_t>(epoch);
-  verdict.code = local.code;
-  verdict.suspects = suspects;
-  std::strncpy(verdict.what, local.what.c_str(), sizeof(verdict.what) - 1);
+  const std::size_t msg_size =
+      sizeof(VerdictHeader) + kWords * sizeof(std::uint64_t);
+  std::vector<std::byte> verdict(msg_size);
+  {
+    VerdictHeader hdr;
+    hdr.epoch = static_cast<std::int32_t>(epoch);
+    hdr.code = local.code;
+    hdr.words = static_cast<std::int32_t>(kWords);
+    std::strncpy(hdr.what, local.what.c_str(), sizeof(hdr.what) - 1);
+    std::memcpy(verdict.data(), &hdr, sizeof(hdr));
+    std::memcpy(verdict.data() + sizeof(hdr), suspects.data(),
+                kWords * sizeof(std::uint64_t));
+  }
   {
     std::vector<Request> sends;
     sends.reserve(static_cast<std::size_t>(P));
     for (Rank r = 0; r < P; ++r) {
       if (r == me) continue;
-      sends.push_back(comm.isend(&verdict, sizeof(verdict), r, tag_verdict));
+      sends.push_back(comm.isend(verdict.data(),
+                                 static_cast<Bytes>(msg_size), r,
+                                 tag_verdict));
     }
     comm.waitAll(sends);
   }
   best_code = local.code;
   best_owner = me;
   best_what = local.what;
-  std::uint64_t dead_bits = suspects;
+  std::vector<std::uint64_t> dead_bits = suspects;
+  std::vector<std::byte> in(msg_size);
+  std::vector<std::uint64_t> in_bits(kWords);
   const SimTime verdict_deadline = comm.proc().now() + window;
   for (Rank r = 0; r < P; ++r) {
     if (r == me) continue;
-    VerdictMsg in;
-    if (comm.recvUntil(&in, sizeof(in), r, tag_verdict, verdict_deadline,
-                       poll)) {
-      TCIO_CHECK_MSG(in.epoch == epoch, "liveness verdict from a stale epoch");
-      dead_bits |= in.suspects;
-      if (in.code > best_code || (in.code == best_code && r < best_owner)) {
-        best_code = in.code;
+    if (comm.recvUntil(in.data(), static_cast<Bytes>(msg_size), r,
+                       tag_verdict, verdict_deadline, poll)) {
+      VerdictHeader hdr;
+      std::memcpy(&hdr, in.data(), sizeof(hdr));
+      TCIO_CHECK_MSG(hdr.epoch == epoch, "liveness verdict from a stale epoch");
+      TCIO_CHECK_MSG(hdr.words == static_cast<std::int32_t>(kWords),
+                     "liveness verdict bitmap width mismatch");
+      std::memcpy(in_bits.data(), in.data() + sizeof(hdr),
+                  kWords * sizeof(std::uint64_t));
+      for (std::size_t w = 0; w < kWords; ++w) dead_bits[w] |= in_bits[w];
+      if (hdr.code > best_code || (hdr.code == best_code && r < best_owner)) {
+        best_code = hdr.code;
         best_owner = r;
-        in.what[sizeof(in.what) - 1] = '\0';
-        best_what = in.what;
+        hdr.what[sizeof(hdr.what) - 1] = '\0';
+        best_what = hdr.what;
       }
     } else {
       // Died between the rounds (or was suspected by everyone): no verdict.
-      dead_bits |= std::uint64_t{1} << r;
+      setBit(dead_bits, r);
     }
   }
 
   out.code = best_code;
   out.what = best_what;
-  out.self_dead = (dead_bits & (std::uint64_t{1} << me)) != 0;
+  out.self_dead = testBit(dead_bits, me);
   for (Rank r = 0; r < P; ++r) {
-    if ((dead_bits & (std::uint64_t{1} << r)) != 0) out.dead.push_back(r);
+    if (testBit(dead_bits, r)) out.dead.push_back(r);
   }
   return out;
 }

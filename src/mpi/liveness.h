@@ -57,7 +57,8 @@ struct LivenessOutcome {
 /// `window` is the virtual-time budget each round waits for a peer before
 /// suspecting it (must exceed the worst-case skew between ranks at the
 /// agreement point); `poll` is the failure-detector poll quantum.
-/// Supports communicators up to 64 ranks (suspicion sets are one word).
+/// Suspicion sets are word-vector bitmaps, so any communicator size works;
+/// verdict messages carry ceil(P/64) bitmap words after a fixed header.
 LivenessOutcome agreeWithLiveness(Comm& comm, const CapturedError& local,
                                   int epoch, SimTime window, SimTime poll);
 

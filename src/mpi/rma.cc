@@ -17,6 +17,7 @@ void processQueueLocked(World& world, sim::Proc& p, detail::TargetLock& tl,
     if (head.exclusive) {
       if (tl.exclusive_held || tl.shared_holders > 0) return;
       tl.exclusive_held = true;
+      tl.holders.push_back(head.origin);
       const SimTime grant = std::max(t, head.arrived);
       const SimTime reply =
           world.network().control(grant, world_target, head.origin).delivered;
@@ -27,6 +28,7 @@ void processQueueLocked(World& world, sim::Proc& p, detail::TargetLock& tl,
     // Shared: grant the whole consecutive run of shared requests.
     if (tl.exclusive_held) return;
     ++tl.shared_holders;
+    tl.holders.push_back(head.origin);
     const SimTime grant = std::max(t, head.arrived);
     const SimTime reply =
         world.network().control(grant, world_target, head.origin).delivered;
@@ -39,6 +41,10 @@ void processQueueLocked(World& world, sim::Proc& p, detail::TargetLock& tl,
 
 Window Window::create(Comm& comm, Bytes local_size) {
   TCIO_CHECK(local_size >= 0);
+  // Window sizes may legitimately differ per rank; only the call position
+  // is part of the matching signature.
+  comm.checkCollective(check::CollOp::kWinCreate, -1, check::kUncheckedBytes,
+                       "Window::create");
   const std::size_t seq = comm.nextWindowSeq();
   sim::Proc& p = comm.proc();
   detail::WinState* ws = nullptr;
@@ -73,12 +79,14 @@ void Window::lock(LockType type, Rank target) {
                  "lock already held on this target");
   sim::Proc& p = comm_->proc();
   World& world = comm_->world();
+  check::Checker* ck = world.checker();
+  const Rank tgt_world = comm_->worldRank(target);
   auto req = std::make_shared<detail::LockRequest>();
   req->origin = p.rank();  // world rank, for the grant reply
   req->exclusive = (type == LockType::kExclusive);
   p.atomic([&] {
     const SimTime arrived =
-        world.network().control(p.now(), p.rank(), comm_->worldRank(target)).delivered +
+        world.network().control(p.now(), p.rank(), tgt_world).delivered +
         world.config().lock_processing;
     req->arrived = arrived;
     detail::TargetLock& tl = targetLock(target);
@@ -91,16 +99,39 @@ void Window::lock(LockType type, Rank target) {
       } else {
         ++tl.shared_holders;
       }
+      tl.holders.push_back(p.rank());
       const SimTime reply =
-          world.network()
-              .control(arrived, comm_->worldRank(target), p.rank())
-              .delivered;
+          world.network().control(arrived, tgt_world, p.rank()).delivered;
       p.complete(req->ev, reply);
     } else {
       tl.queue.push_back(req);
+      if (ck != nullptr) {
+        // Wait-for edges: the current holders plus every request queued
+        // ahead of ours. Re-evaluated at cycle-search time so a handoff
+        // (holder unlocks, grant goes to an earlier request) never leaves a
+        // stale edge.
+        detail::TargetLock* tlp = &tl;
+        ck->beginWait(p.rank(),
+                      [tlp, req] {
+                        std::vector<Rank> t = tlp->holders;
+                        for (const auto& q : tlp->queue) {
+                          if (q.get() == req.get()) break;
+                          t.push_back(q->origin);
+                        }
+                        return t;
+                      },
+                      &req->ev, "MPI_Win_lock");
+      }
     }
   });
   p.wait(req->ev, "MPI_Win_lock");
+  if (ck != nullptr) {
+    p.atomic([&] {
+      ck->endWait(p.rank());
+      ck->onEpochOpen(state_, p.rank(), tgt_world, req->exclusive,
+                      "MPI_Win_lock");
+    });
+  }
   held_[target] = Epoch{type, 0.0};
   ++lock_count_;
 }
@@ -112,13 +143,20 @@ void Window::unlock(Rank target) {
   held_.erase(it);
   sim::Proc& p = comm_->proc();
   World& world = comm_->world();
+  check::Checker* ck = world.checker();
+  const Rank tgt_world = comm_->worldRank(target);
   SimTime ack = 0;
   p.atomic([&] {
+    // Close the checker epoch before any queued grant can open the next one
+    // (the source-buffer CRC re-check runs here).
+    if (ck != nullptr) {
+      ck->onEpochClose(state_, p.rank(), tgt_world, "MPI_Win_unlock");
+    }
     // MPI_Win_unlock returns after every epoch transfer completed at the
     // target; the release control message leaves after the last delivery.
     const SimTime t = std::max(p.now(), epoch.last_delivery);
     const SimTime release_arrived =
-        world.network().control(t, p.rank(), comm_->worldRank(target)).delivered +
+        world.network().control(t, p.rank(), tgt_world).delivered +
         world.config().lock_processing;
     detail::TargetLock& tl = targetLock(target);
     if (epoch.type == LockType::kExclusive) {
@@ -128,18 +166,25 @@ void Window::unlock(Rank target) {
       TCIO_CHECK(tl.shared_holders > 0);
       --tl.shared_holders;
     }
-    processQueueLocked(world, p, tl, comm_->worldRank(target),
-                       release_arrived);
+    const auto hit =
+        std::find(tl.holders.begin(), tl.holders.end(), p.rank());
+    TCIO_CHECK(hit != tl.holders.end());
+    tl.holders.erase(hit);
+    processQueueLocked(world, p, tl, tgt_world, release_arrived);
     ack = world.network()
-              .control(release_arrived, comm_->worldRank(target), p.rank())
+              .control(release_arrived, tgt_world, p.rank())
               .delivered;
   });
   p.advanceTo(ack);
 }
 
 void Window::requireLocked(Rank target) const {
-  TCIO_CHECK_MSG(held_.find(target) != held_.end(),
-                 "one-sided access outside a lock epoch");
+  if (held_.find(target) != held_.end()) return;
+  if (check::Checker* ck = comm_->world().checker()) {
+    ck->failOutsideEpoch(comm_->proc().rank(), comm_->worldRank(target),
+                         "Window::requireLocked");
+  }
+  TCIO_CHECK_MSG(false, "one-sided access outside a lock epoch");
 }
 
 void Window::put(Rank target, Offset target_disp, const void* src, Bytes n) {
@@ -161,6 +206,14 @@ void Window::putIndexed(Rank target, std::span<const PutBlock> blocks) {
   comm_->chargeCopy(total);  // datatype pack
   SimTime free_at = 0;
   p.atomic([&] {
+    if (check::Checker* ck = world.checker()) {
+      std::vector<check::Checker::PutBlockRef> refs;
+      refs.reserve(blocks.size());
+      for (const PutBlock& b : blocks) {
+        refs.push_back({b.target_disp, b.len, b.src});
+      }
+      ck->onPut(state_, p.rank(), comm_->worldRank(target), refs, "MPI_Put");
+    }
     const net::TransferTimes times = world.network().transfer(
         p.now(), p.rank(), comm_->worldRank(target), total, /*rdma=*/true);
     auto& mem = state_->mem[static_cast<std::size_t>(target)];

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/checker.h"
 #include "common/memory_tracker.h"
 #include "common/types.h"
 #include "net/network.h"
@@ -77,6 +78,9 @@ struct TargetLock {
   int shared_holders = 0;
   bool exclusive_held = false;
   std::deque<std::shared_ptr<LockRequest>> queue;
+  /// World ranks currently granted this lock (maintained for the checker's
+  /// wait-for-graph edges; cheap enough to track unconditionally).
+  std::vector<Rank> holders;
 };
 
 /// Shared state of one RMA window across all ranks.
@@ -96,7 +100,11 @@ class World {
         network_(network),
         cfg_(cfg),
         mailboxes_(static_cast<std::size_t>(engine.numRanks())),
-        memory_(static_cast<std::size_t>(engine.numRanks())) {}
+        memory_(static_cast<std::size_t>(engine.numRanks())) {
+    if (check::Checker::enabled()) {
+      checker_ = std::make_unique<check::Checker>(engine.numRanks());
+    }
+  }
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -138,6 +146,11 @@ class World {
   /// Optional event trace shared by all layers.
   sim::Trace& trace() { return trace_; }
 
+  /// Runtime correctness checker; null unless TCIO_CHECK is enabled. Every
+  /// hook call is guarded by this null check, so the disabled cost is one
+  /// load + branch per call site.
+  check::Checker* checker() { return checker_.get(); }
+
  private:
   sim::Engine& engine_;
   net::Network& network_;
@@ -148,6 +161,7 @@ class World {
       windows_;
   int next_context_ = 1;  // 0 is COMM_WORLD
   sim::Trace trace_;
+  std::unique_ptr<check::Checker> checker_;
 };
 
 }  // namespace tcio::mpi

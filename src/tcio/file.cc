@@ -7,6 +7,7 @@
 #include <set>
 #include <span>
 
+#include "check/checker.h"
 #include "mpi/liveness.h"
 
 namespace tcio::core {
@@ -40,9 +41,6 @@ File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
       orig_size_(comm.size()) {
   TCIO_CHECK(cfg_.segment_size > 0);
   TCIO_CHECK(cfg_.segments_per_rank > 0);
-  TCIO_CHECK_MSG(!cfg_.crash.enabled || orig_size_ <= 64,
-                 "crash tolerance supports communicators up to 64 ranks "
-                 "(liveness suspicion sets are one word)");
   TCIO_CHECK_MSG(cfg_.use_onesided || cfg_.lazy_reads,
                  "two-sided exchange requires lazy reads (no independent "
                  "materialization path exists without one-sided access)");
@@ -117,6 +115,12 @@ File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
     node_agg_ = std::make_unique<topo::NodeAggregator>(*node_map_, slot);
   }
   comm_->memory().allocate(cfg_.segment_size, "TCIO level-1 buffer");
+  if (check::Checker* ck = comm_->world().checker()) {
+    comm_->proc().atomic([&] {
+      ck->registerFile(name_, orig_size_, cfg_.segment_size,
+                       cfg_.segments_per_rank);
+    });
+  }
   open_ = true;
 }
 
@@ -192,6 +196,12 @@ void File::flushLevel1() {
   if (!twoSidedExchange() && !cfg_.node_aggregation) {
     const Rank owner = ownerOf(seg);
     const std::int64_t slot = slotOnOwner(seg);
+    if (check::Checker* ck = comm_->world().checker()) {
+      comm_->proc().atomic([&] {
+        ck->onSegmentTransfer(name_, seg, owner, "File::flushLevel1");
+        ck->noteDirty(name_, seg);
+      });
+    }
     std::vector<mpi::Window::PutBlock> blocks;
     blocks.reserve(extents.size() + 1);
     blocks.push_back({flagsDisp(slot, kDirtyFlag), &kFlagSet, 1});
@@ -293,7 +303,8 @@ void File::recordRead(Offset off, std::byte* dst, Bytes n) {
   }
 }
 
-void File::ensureLoadedIndependent(SegmentId seg) {
+void File::ensureLoadedIndependent(SegmentId seg,
+                                   std::vector<std::byte>& scratch) {
   const Rank owner = ownerOf(seg);
   const std::int64_t slot = slotOnOwner(seg);
   std::byte flags[2];
@@ -302,15 +313,22 @@ void File::ensureLoadedIndependent(SegmentId seg) {
     return;  // resident (session writes or a previous load)
   }
   // Load the segment from the file ourselves and publish it through the
-  // owner's window — pure one-sided, no remote progress needed.
+  // owner's window — pure one-sided, no remote progress needed. The bytes go
+  // through caller-owned scratch because a put source must stay untouched
+  // until the caller's unlock closes the epoch.
   const Offset base = map_.baseOf(seg);
   const Bytes fsize = client_.size(fsfile_);
   const Bytes len = std::clamp<Bytes>(fsize - base, 0, cfg_.segment_size);
-  std::vector<std::byte> tmp(static_cast<std::size_t>(len));
-  if (len > 0) preadDegraded(base, tmp.data(), len);
+  scratch.assign(static_cast<std::size_t>(len), std::byte{0});
+  if (len > 0) preadDegraded(base, scratch.data(), len);
+  if (check::Checker* ck = comm_->world().checker()) {
+    comm_->proc().atomic([&] {
+      ck->onSegmentTransfer(name_, seg, owner, "File::ensureLoadedIndependent");
+    });
+  }
   std::vector<mpi::Window::PutBlock> blocks;
   blocks.push_back({flagsDisp(slot, kLoadedFlag), &kFlagSet, 1});
-  if (len > 0) blocks.push_back({dataDisp(slot, 0), tmp.data(), len});
+  if (len > 0) blocks.push_back({dataDisp(slot, 0), scratch.data(), len});
   window_->putIndexed(owner, blocks);
 }
 
@@ -333,6 +351,11 @@ void File::independentFetch(std::vector<PendingRead> reads) {
     for (const PendingRead& r : group) {
       blocks.push_back({dataDisp(slot, map_.dispOf(r.off)), r.dst, r.len});
     }
+    if (check::Checker* ck = comm_->world().checker()) {
+      comm_->proc().atomic([&] {
+        ck->onSegmentTransfer(name_, seg, owner, "File::independentFetch");
+      });
+    }
     // Fast path: under a shared lock, check residency and gather. Only a
     // non-resident segment needs the exclusive load-and-publish epoch.
     std::byte flags[2];
@@ -347,19 +370,30 @@ void File::independentFetch(std::vector<PendingRead> reads) {
     }
     window_->unlock(owner);
     window_->lock(mpi::LockType::kExclusive, owner);
-    ensureLoadedIndependent(seg);  // re-checks under the exclusive lock
+    std::vector<std::byte> scratch;  // outlives the unlock below (put source)
+    ensureLoadedIndependent(seg, scratch);  // re-checks under the lock
     window_->getIndexed(owner, blocks);
     window_->unlock(owner);
   }
 }
 
 void File::gatherPending(std::vector<PendingRead>& reads) {
+  check::Checker* ck = comm_->world().checker();
   // One shared-lock epoch and one coalesced get per owner.
   std::map<Rank, std::vector<mpi::Window::GetBlock>> by_owner;
+  std::set<SegmentId> segs;
   for (const PendingRead& r : reads) {
     const SegmentId seg = map_.segmentOf(r.off);
     by_owner[ownerOf(seg)].push_back(
         {dataDisp(slotOnOwner(seg), map_.dispOf(r.off)), r.dst, r.len});
+    if (ck != nullptr) segs.insert(seg);
+  }
+  if (ck != nullptr && !segs.empty()) {
+    comm_->proc().atomic([&] {
+      for (const SegmentId g : segs) {
+        ck->onSegmentTransfer(name_, g, ownerOf(g), "File::gatherPending");
+      }
+    });
   }
   for (auto& [owner, blocks] : by_owner) {
     window_->lock(mpi::LockType::kShared, owner);
@@ -382,6 +416,8 @@ void File::collectiveFetch() {
       flushLevel1();
     } catch (const RankCrashedError&) {
       throw;
+    } catch (const check::CheckFailure&) {
+      throw;  // checker verdicts abort the job typed, never agreed-and-retyped
     } catch (const std::exception& e) {
       err.capture(e);
     }
@@ -401,6 +437,8 @@ void File::collectiveFetch() {
     mpi::CapturedError err;
     try {
       flushLevel1();
+    } catch (const check::CheckFailure&) {
+      throw;  // checker verdicts abort the job typed, never agreed-and-retyped
     } catch (const std::exception& e) {
       err.capture(e);
     }
@@ -422,6 +460,19 @@ void File::collectiveFetch() {
   // Owners load their needed, non-resident segments with large file reads.
   // The loads are purely local, so capture any FS failure and agree after
   // the existing barrier (an aligned point for every rank).
+  if (check::Checker* ck = comm_->world().checker()) {
+    // Every slot this rank is about to load (or serve) must be one the
+    // checker's segment map assigns to it.
+    comm_->proc().atomic([&] {
+      for (const auto& [g, slot] : ownedSlots()) {
+        if ((bitmap[static_cast<std::size_t>(g / 64)] &
+             (1ULL << (g % 64))) != 0) {
+          ck->onSegmentTransfer(name_, g, orig_rank_,
+                                "File::collectiveFetch(owner load)");
+        }
+      }
+    });
+  }
   mpi::CapturedError load_err;
   try {
     const Bytes fsize = client_.size(fsfile_);
@@ -500,6 +551,7 @@ void File::collectiveFetch() {
         exchangeBuffers(req_meta, mcounts, mdispls);
     // Answer each requester from the local window.
     std::vector<std::vector<std::byte>> replies(static_cast<std::size_t>(P));
+    std::set<SegmentId> served_segs;
     for (int src = 0; src < P; ++src) {
       const auto s = static_cast<std::size_t>(src);
       const auto* blocks =
@@ -511,7 +563,18 @@ void File::collectiveFetch() {
         const std::byte* from =
             local + dataDisp(slotOnOwner(g), map_.dispOf(blocks[i].off));
         replies[s].insert(replies[s].end(), from, from + blocks[i].len);
+        served_segs.insert(g);
       }
+    }
+    if (check::Checker* ck = comm_->world().checker();
+        ck != nullptr && !served_segs.empty()) {
+      // Requesters routed these reads here because this rank owns them.
+      comm_->proc().atomic([&] {
+        for (const SegmentId g : served_segs) {
+          ck->onSegmentTransfer(name_, g, orig_rank_,
+                                "File::collectiveFetch(two-sided reply)");
+        }
+      });
     }
     std::vector<Bytes> rcounts;
     std::vector<Offset> rdispls;
@@ -556,6 +619,8 @@ void File::seek(Offset off, Whence whence) {
 
 void File::flush() {
   TCIO_CHECK_MSG(open_, "flush on closed TCIO file");
+  check::ScopedLabel phase(comm_->world().checker(), comm_->proc().rank(),
+                           "File::flush");
   if (cfg_.crash.enabled) {
     crashPoint(CrashPoint::kAtCollective);
     // Crash-tolerant ordering: the level-1 flush (journal + RMA/stage, all
@@ -567,6 +632,8 @@ void File::flush() {
       flushLevel1();
     } catch (const RankCrashedError&) {
       throw;
+    } catch (const check::CheckFailure&) {
+      throw;  // checker verdicts abort the job typed, never agreed-and-retyped
     } catch (const std::exception& e) {
       err.capture(e);
     }
@@ -592,6 +659,8 @@ void File::flush() {
     mpi::CapturedError err;
     try {
       flushLevel1();
+    } catch (const check::CheckFailure&) {
+      throw;  // checker verdicts abort the job typed, never agreed-and-retyped
     } catch (const std::exception& e) {
       err.capture(e);
     }
@@ -603,6 +672,8 @@ void File::flush() {
 
 void File::fetch() {
   TCIO_CHECK_MSG(open_, "fetch on closed TCIO file");
+  check::ScopedLabel phase(comm_->world().checker(), comm_->proc().rank(),
+                           "File::fetch");
   if (cfg_.crash.enabled) {
     crashPoint(CrashPoint::kAtCollective);
     // collectiveFetch leads with its own liveness round; the fallback
@@ -672,6 +743,7 @@ void File::exchangeStagedWrites() {
   mpi::CapturedError err;
   try {
     std::byte* local = window_->localData();
+    std::set<SegmentId> applied_segs;
     for (int src = 0; src < P; ++src) {
       const auto s = static_cast<std::size_t>(src);
       const auto* blocks =
@@ -686,9 +758,23 @@ void File::exchangeStagedWrites() {
                     static_cast<std::size_t>(blocks[i].len));
         from += blocks[i].len;
         local[flagsDisp(slot, kDirtyFlag)] = kFlagSet;
+        applied_segs.insert(g);
       }
     }
+    if (check::Checker* ck = comm_->world().checker();
+        ck != nullptr && !applied_segs.empty()) {
+      // Peers routed these blocks here because this rank owns the segments.
+      comm_->proc().atomic([&] {
+        for (const SegmentId g : applied_segs) {
+          ck->onSegmentTransfer(name_, g, orig_rank_,
+                                "File::exchangeStagedWrites");
+          ck->noteDirty(name_, g);
+        }
+      });
+    }
     comm_->chargeCopy(static_cast<Bytes>(got_payload.size()));
+  } catch (const check::CheckFailure&) {
+    throw;  // checker verdicts abort the job typed, never agreed-and-retyped
   } catch (const std::exception& e) {
     err.capture(e);
   }
@@ -776,6 +862,7 @@ void File::nodeExchangeStagedWrites() {
     if (node_map_->isLeader()) {
       std::map<Rank, std::vector<mpi::Window::PutBlock>> by_owner;
       std::map<Rank, std::set<std::int64_t>> flagged;
+      std::set<SegmentId> applied_segs;
       Bytes applied = 0;
       for (const auto& from_node : frames) {
         for (const auto& rb : from_node) {
@@ -799,8 +886,19 @@ void File::nodeExchangeStagedWrites() {
                  m.len});
             pos += static_cast<std::size_t>(m.len);
             applied += m.len;
+            applied_segs.insert(g);
           }
         }
+      }
+      if (check::Checker* ck = comm_->world().checker();
+          ck != nullptr && !applied_segs.empty()) {
+        comm_->proc().atomic([&] {
+          for (const SegmentId g : applied_segs) {
+            ck->onSegmentTransfer(name_, g, ownerOf(g),
+                                  "File::nodeExchangeStagedWrites");
+            ck->noteDirty(name_, g);
+          }
+        });
       }
       for (auto& [owner, blocks] : by_owner) {
         window_->lock(mpi::LockType::kShared, owner);
@@ -809,6 +907,8 @@ void File::nodeExchangeStagedWrites() {
       }
       stats_.intranode_bytes += applied;
     }
+  } catch (const check::CheckFailure&) {
+    throw;  // checker verdicts abort the job typed, never agreed-and-retyped
   } catch (const std::exception& e) {
     err.capture(e);
   }
@@ -878,6 +978,7 @@ void File::nodeAggregatedGather(std::vector<PendingRead>& reads) {
     }
     // Pass 2: one shared-lock membus epoch per node-local owner.
     std::map<Rank, std::vector<mpi::Window::GetBlock>> by_owner;
+    std::set<SegmentId> served_segs;
     Bytes served = 0;
     for (const auto& [m, slice] : wanted) {
       const SegmentId g = map_.segmentOf(m.off);
@@ -885,6 +986,16 @@ void File::nodeAggregatedGather(std::vector<PendingRead>& reads) {
           {dataDisp(slotOnOwner(g), map_.dispOf(m.off)),
            replies[slice.node].data() + slice.at, m.len});
       served += m.len;
+      served_segs.insert(g);
+    }
+    if (check::Checker* ck = comm_->world().checker();
+        ck != nullptr && !served_segs.empty()) {
+      comm_->proc().atomic([&] {
+        for (const SegmentId g : served_segs) {
+          ck->onSegmentTransfer(name_, g, ownerOf(g),
+                                "File::nodeAggregatedGather");
+        }
+      });
     }
     for (auto& [owner, blocks] : by_owner) {
       window_->lock(mpi::LockType::kShared, owner);
@@ -965,6 +1076,8 @@ void File::nodeAggregatedGather(std::vector<PendingRead>& reads) {
 
 void File::close() {
   if (!open_) return;
+  check::ScopedLabel phase(comm_->world().checker(), comm_->proc().rank(),
+                           "File::close");
   // Mark closed up front: if any step below throws, the destructor must not
   // attempt the collective sequence again mid-unwind (the other ranks are no
   // longer at a matching program point).
@@ -991,6 +1104,8 @@ void File::close() {
       flushLevel1();
     } catch (const RankCrashedError&) {
       throw;
+    } catch (const check::CheckFailure&) {
+      throw;  // checker verdicts abort the job typed, never agreed-and-retyped
     } catch (const std::exception& e) {
       err.capture(e);
     }
@@ -1007,6 +1122,8 @@ void File::close() {
       collectiveFetch();  // resolve any pending lazy reads
     } catch (const RankCrashedError&) {
       throw;
+    } catch (const check::CheckFailure&) {
+      throw;  // checker verdicts abort the job typed, never agreed-and-retyped
     } catch (const std::exception& e) {
       err.capture(e);
     }
@@ -1023,6 +1140,8 @@ void File::close() {
       // (crash mode already flushed the residue in the detection round)
     } catch (const RankCrashedError&) {
       throw;
+    } catch (const check::CheckFailure&) {
+      throw;  // checker verdicts abort the job typed, never agreed-and-retyped
     } catch (const std::exception& e) {
       err.capture(e);
     }
@@ -1045,6 +1164,8 @@ void File::close() {
       drainToFs(fsize);
     } catch (const RankCrashedError&) {
       throw;
+    } catch (const check::CheckFailure&) {
+      throw;  // checker verdicts abort the job typed, never agreed-and-retyped
     } catch (const std::exception& e) {
       err.capture(e);
     }
@@ -1088,14 +1209,27 @@ void File::close() {
     auto [code, what] = agreeAndRecover(err);
     accumulate(code, what);
     if (agreed_code != mpi::CapturedError::kNone) {
+      noteSessionAborted();
       mpi::throwTyped(agreed_code, agreed_what);
     }
   } else {
-    collectiveAgreeOnError(err);
+    try {
+      collectiveAgreeOnError(err);
+    } catch (...) {
+      noteSessionAborted();
+      throw;
+    }
+  }
+  if (check::Checker* ck = comm_->world().checker()) {
+    // Clean collective close: the last live rank to get here triggers the
+    // drain-coverage verification over the agreed final file size.
+    comm_->proc().atomic(
+        [&] { ck->onFileClosed(name_, final_fsize_, orig_rank_); });
   }
 }
 
 void File::drainToFs(Bytes file_size) {
+  check::Checker* ck = comm_->world().checker();
   const std::byte* local = window_->localData();
   for (const auto& [g, slot] : ownedSlots()) {
     if (local[flagsDisp(slot, kDirtyFlag)] == std::byte{0}) continue;
@@ -1104,6 +1238,10 @@ void File::drainToFs(Bytes file_size) {
     crashPoint(CrashPoint::kMidClose);
     const Bytes len = std::min(cfg_.segment_size, file_size - base);
     pwriteDegraded(base, local + dataDisp(slot, 0), len);
+    if (ck != nullptr) {
+      comm_->proc().atomic(
+          [&] { ck->onDrain(name_, g, orig_rank_, "File::drainToFs"); });
+    }
   }
 }
 
@@ -1221,6 +1359,8 @@ std::pair<std::int32_t, std::string> File::agreeAndRecover(
       handleDeaths(out.dead);
     } catch (const RankCrashedError&) {
       throw;
+    } catch (const check::CheckFailure&) {
+      throw;  // checker verdicts abort the job typed, never agreed-and-retyped
     } catch (const std::exception& e) {
       err.capture(e);
     }
@@ -1239,6 +1379,12 @@ void File::handleDeaths(const std::vector<Rank>& dead_cur) {
   for (const Rank d : dead_orig) dead_[static_cast<std::size_t>(d)] = true;
   stats_.degraded.ranks_crashed +=
       static_cast<std::int64_t>(dead_orig.size());
+  check::Checker* ck = comm_->world().checker();
+  if (ck != nullptr) {
+    comm_->proc().atomic([&] {
+      for (const Rank d : dead_orig) ck->noteDeath(name_, d);
+    });
+  }
   // 2) Shrink: the survivors (every live rank reaches this point with the
   //    same dead set) move to a fresh communicator on a pre-reserved
   //    context. The level-2 window stays on the original communicator —
@@ -1297,6 +1443,13 @@ void File::handleDeaths(const std::vector<Rank>& dead_cur) {
     orphans_[g] = {owner, slot};
     if (owner == orig_rank_) mine.emplace_back(g, slot);
   }
+  if (ck != nullptr) {
+    comm_->proc().atomic([&] {
+      for (const SegmentId g : orphan_segs) {
+        ck->noteRemap(name_, g, orphans_[g].owner);
+      }
+    });
+  }
   stats_.degraded.segments_taken_over +=
       static_cast<std::int64_t>(mine.size());
   // 4) Node aggregation is rebuilt over the shrunk communicator; a dead
@@ -1323,11 +1476,17 @@ void File::handleDeaths(const std::vector<Rank>& dead_cur) {
 
 void File::replayOrphans(
     const std::vector<std::pair<SegmentId, std::int64_t>>& mine) {
+  check::Checker* ck = comm_->world().checker();
   if (journal_ == nullptr) {
     // Journaling off: whatever the dead ranks had buffered for these
     // segments is gone. Reported, never silent.
     stats_.degraded.unjournaled_segments_lost +=
         static_cast<std::int64_t>(mine.size());
+    if (ck != nullptr) {
+      comm_->proc().atomic([&] {
+        for (const auto& [g, slot] : mine) ck->noteSegmentLost(name_, g);
+      });
+    }
     return;
   }
   // Any original rank may have contributed extents to an orphaned segment
@@ -1363,7 +1522,14 @@ void File::replayOrphans(
                 static_cast<Bytes>(rec.payload.size()));
       }
     }
-    if (!any) continue;
+    if (!any) {
+      // Nothing in any journal for this segment (clean, or a torn tail
+      // dropped every record): its buffered bytes, if any, are gone.
+      if (ck != nullptr) {
+        comm_->proc().atomic([&] { ck->noteSegmentLost(name_, g); });
+      }
+      continue;
+    }
     if (drained_) {
       // The drain already ran: write the reconstructed segment straight to
       // the file (whole clamped segment — identical to what the healthy
@@ -1372,8 +1538,18 @@ void File::replayOrphans(
       if (base >= static_cast<Offset>(final_fsize_)) continue;
       const Bytes len = std::min(cfg_.segment_size, final_fsize_ - base);
       pwriteDegraded(base, scratch.data(), len);
+      if (ck != nullptr) {
+        comm_->proc().atomic(
+            [&] { ck->onDrain(name_, g, orig_rank_, "File::replayOrphans"); });
+      }
     } else {
       local[flagsDisp(slot, kDirtyFlag)] = kFlagSet;
+      if (ck != nullptr) {
+        comm_->proc().atomic([&] {
+          ck->onSegmentTransfer(name_, g, orig_rank_, "File::replayOrphans");
+          ck->noteDirty(name_, g);
+        });
+      }
     }
   }
 }
@@ -1416,6 +1592,12 @@ void File::preadDegraded(Offset off, std::byte* dst, Bytes n) {
     if (moved == 0) throw;  // nothing to fail over to — surface it
     stats_.degraded.chunks_remapped += moved;
     client_.pread(fsfile_, off, dst, n);
+  }
+}
+
+void File::noteSessionAborted() {
+  if (check::Checker* ck = comm_->world().checker()) {
+    comm_->proc().atomic([&] { ck->noteSessionAborted(name_); });
   }
 }
 

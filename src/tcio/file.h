@@ -206,8 +206,10 @@ class File {
   void nodeAggregatedGather(std::vector<PendingRead>& reads);
 
   /// Ensures the segment holding `off`..`off+n` is resident in its owner's
-  /// window (independent path; reader loads from FS if needed).
-  void ensureLoadedIndependent(SegmentId seg);
+  /// window (independent path; reader loads from FS if needed). `scratch` is
+  /// caller-owned storage for the published bytes: a put source must stay
+  /// valid until the caller closes the epoch (MPI origin-buffer rule).
+  void ensureLoadedIndependent(SegmentId seg, std::vector<std::byte>& scratch);
 
   /// Writes this rank's dirty slots to the file system.
   void drainToFs(Bytes file_size);
@@ -291,6 +293,11 @@ class File {
 
   /// Copies the client/network recovery counters into stats_.degraded.
   void syncRecoveryStats();
+
+  /// Tells the runtime checker this file's session ended without a clean
+  /// close (agreed error), so drain coverage is skipped and a reopen starts
+  /// a fresh checker session. No-op when the checker is off.
+  void noteSessionAborted();
 
   mpi::Comm* comm_;
   fs::FsClient client_;

@@ -117,6 +117,33 @@ TEST(LivenessTest, TwoSilentRanksBothDeclaredDead) {
   });
 }
 
+TEST(LivenessTest, ManyRanksBeyondOneBitmapWord) {
+  // 72 ranks need a two-word suspicion bitmap (the protocol was limited to
+  // P <= 64 when verdicts carried a single uint64_t). A silent rank in the
+  // second word's range must still be unanimously agreed dead, and the
+  // survivors' shrunk communicator must run plain collectives.
+  mpi::JobConfig jc;
+  jc.num_ranks = 72;
+  runJob(jc, [&](Comm& comm) {
+    const int ctx = [&] {
+      int base = 0;
+      if (comm.rank() == 0) base = comm.reserveContexts(1);
+      comm.bcast(&base, sizeof(base), 0);
+      return base;
+    }();
+    if (comm.rank() == 70) return;  // fail-stop, bit 6 of word 1
+    const LivenessOutcome out =
+        agreeWithLiveness(comm, CapturedError{}, /*epoch=*/0, kWindow, kPoll);
+    EXPECT_EQ(out.dead, (std::vector<Rank>{70}));
+    EXPECT_FALSE(out.self_dead);
+    Comm shrunk = comm.shrink(out.survivors(comm.size()), ctx);
+    ASSERT_EQ(shrunk.size(), 71);
+    std::int64_t sum = 1;
+    shrunk.allreduce(&sum, 1, ReduceOp::kSum);
+    EXPECT_EQ(sum, 71);
+  });
+}
+
 TEST(LivenessTest, DeterministicVerdictAndTiming) {
   auto once = [] {
     mpi::JobConfig jc;

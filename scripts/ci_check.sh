@@ -47,4 +47,11 @@ fi
 echo "== test suite under TCIO_CHECK=1 =="
 TCIO_CHECK=1 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
+# The open/write/close churn workload again, but with delegates resolved
+# from the environment: ownership verification must hold when the level-2
+# map is sharded across delegate ranks (DESIGN.md §10).
+echo "== delegate churn under TCIO_CHECK=1, TCIO_DELEGATES=2 =="
+TCIO_CHECK=1 TCIO_DELEGATES=2 ctest --test-dir "$BUILD" \
+  --output-on-failure -R 'DelegateChurnTest|DelegateQueueTest'
+
 echo "ci_check: OK (tidy rc=$tidy_rc, checker-enabled suite green)"

@@ -11,35 +11,51 @@
 # (TCIO_CHECK=1): crash seeds must not only converge, they must do so without
 # tripping collective-matching, RMA-epoch, or segment-ownership verification.
 #
+# A second leg per seed soaks the I/O delegate subsystem (src/delegate/,
+# DESIGN.md §10) with TCIO_DELEGATES>0 in the environment: delegate crash
+# adoption, in-delegate fault retry, and the open/write/close churn must all
+# converge under the checker as well.
+#
 #   TCIO_FAULT_SEEDS    number of seeds to sweep (default 20)
 #   TCIO_SOAK_TIMEOUT   per-seed wall-clock limit in seconds (default 300)
+#   TCIO_SOAK_DELEGATES delegate count for the delegate leg (default 2)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SEEDS=${TCIO_FAULT_SEEDS:-20}
 LIMIT=${TCIO_SOAK_TIMEOUT:-300}
 BUILD=${TCIO_SOAK_BUILD:-build}
+DELEGATES=${TCIO_SOAK_DELEGATES:-2}
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j "$(nproc)" --target test_tcio
+cmake --build "$BUILD" -j "$(nproc)" --target test_tcio test_delegate
 
 fails=0
 hangs=0
-for ((seed = 1; seed <= SEEDS; seed++)); do
-  rc=0
-  TCIO_FAULT_SEED=$seed TCIO_CHECK=1 timeout "$LIMIT" \
-    ctest --test-dir "$BUILD" --output-on-failure \
-    -R 'TcioFaultMatrix|TcioCrashMatrix|TcioCrashRecovery' \
-    >"/tmp/fault_soak_$seed.log" 2>&1 || rc=$?
+run_leg() {  # run_leg <name> <seed> <log> <ctest -R pattern> [env...]
+  local name=$1 seed=$2 log=$3 pattern=$4 rc=0
+  shift 4
+  env "$@" timeout "$LIMIT" \
+    ctest --test-dir "$BUILD" --output-on-failure -R "$pattern" \
+    >"$log" 2>&1 || rc=$?
   if [ "$rc" -eq 0 ]; then
-    echo "seed $seed: PASS"
+    echo "seed $seed ($name): PASS"
   elif [ "$rc" -eq 124 ]; then
     hangs=$((hangs + 1))
-    echo "seed $seed: HANG (exceeded ${LIMIT}s — suspected lost collective agreement)"
+    echo "seed $seed ($name): HANG (exceeded ${LIMIT}s — suspected lost collective agreement)"
   else
     fails=$((fails + 1))
-    echo "seed $seed: FAIL (see /tmp/fault_soak_$seed.log)"
+    echo "seed $seed ($name): FAIL (see $log)"
   fi
+}
+
+for ((seed = 1; seed <= SEEDS; seed++)); do
+  run_leg core "$seed" "/tmp/fault_soak_$seed.log" \
+    'TcioFaultMatrix|TcioCrashMatrix|TcioCrashRecovery' \
+    TCIO_FAULT_SEED="$seed" TCIO_CHECK=1
+  run_leg delegate "$seed" "/tmp/fault_soak_delegate_$seed.log" \
+    'DelegateCrashTest|DelegateFaultTest|DelegateChurnTest' \
+    TCIO_FAULT_SEED="$seed" TCIO_CHECK=1 TCIO_DELEGATES="$DELEGATES"
 done
 
 echo "fault soak: $SEEDS seeds, $fails failures, $hangs hangs"

@@ -366,24 +366,31 @@ void Checker::onFileClosed(const std::string& name, Bytes final_size,
   FileRec& fr = fileRec(name, "onFileClosed");
   (void)rank_orig;
   ++fr.closed;
+  fr.final_size = std::max(fr.final_size, final_size);
   const int live = fr.num_ranks - static_cast<int>(fr.dead.size());
   if (fr.closed < live) return;
   fr.session_done = true;
   ++stats_.files_closed;
   for (const SegmentId g : fr.dirty) {
     if (fr.lost.count(g) != 0) continue;
-    if (g * fr.segment_size >= final_size) continue;  // truncated away
+    if (g * fr.segment_size >= fr.final_size) continue;  // truncated away
     if (fr.drained.count(g) != 0) continue;
     std::ostringstream os;
     os << "file '" << name << "': dirty segment " << g << " (bytes ["
        << g * fr.segment_size << ", " << (g + 1) * fr.segment_size
        << ")) was never written back at close — close-time writes do not "
-       << "cover the dirty extent (file size " << final_size << ")";
+       << "cover the dirty extent (file size " << fr.final_size << ")";
     fail(os.str());
   }
 }
 
 // -- Wait-for-graph deadlock detection ----------------------------------------
+
+namespace {
+bool edgePending(const Checker::WaitEdge& e) {
+  return e.ev == nullptr || !e.ev->ready();
+}
+}  // namespace
 
 void Checker::beginWait(Rank waiter_world,
                         std::function<std::vector<Rank>()> targets,
@@ -393,20 +400,56 @@ void Checker::beginWait(Rank waiter_world,
   w.active = true;
   w.targets = std::move(targets);
   w.ev = ev;
+  w.edges.clear();
   w.site = site;
   ++stats_.waits_tracked;
+  detectCycle(waiter_world);
+}
 
+void Checker::beginWaitAll(Rank waiter_world, std::vector<WaitEdge> edges,
+                           const char* site) {
+  // An AND-wait only blocks on legs whose event has not fired; satisfied
+  // legs must not appear in the graph or an already-arrived message would
+  // manufacture a cycle.
+  std::erase_if(edges, [](const WaitEdge& e) { return !edgePending(e); });
+  if (edges.empty()) return;
+  WaitInfo& w = waits_[static_cast<std::size_t>(waiter_world)];
+  w.active = true;
+  w.targets = nullptr;
+  w.ev = nullptr;
+  w.edges = std::move(edges);
+  w.site = site;
+  ++stats_.waits_tracked;
+  detectCycle(waiter_world);
+}
+
+void Checker::detectCycle(Rank waiter_world) {
   // DFS over currently-blocked ranks; edges are re-evaluated through each
-  // waiter's target closure so lock handoffs never leave stale edges.
+  // waiter's target closure (or per-edge events) so lock handoffs and
+  // partially-completed AND-waits never leave stale edges.
   const auto blocked = [&](Rank r) {
     const WaitInfo& wi = waits_[static_cast<std::size_t>(r)];
-    return wi.active && (wi.ev == nullptr || !wi.ev->ready());
+    if (!wi.active) return false;
+    if (!wi.edges.empty()) {
+      return std::any_of(wi.edges.begin(), wi.edges.end(), edgePending);
+    }
+    return wi.ev == nullptr || !wi.ev->ready();
+  };
+  const auto targetsOf = [&](Rank r) {
+    const WaitInfo& wi = waits_[static_cast<std::size_t>(r)];
+    if (!wi.edges.empty()) {
+      std::vector<Rank> out;
+      for (const WaitEdge& e : wi.edges) {
+        if (edgePending(e)) out.push_back(e.target);
+      }
+      return out;
+    }
+    return wi.targets();
   };
   std::vector<Rank> path{waiter_world};
   std::set<Rank> visited{waiter_world};
   const std::function<bool(Rank)> dfs = [&](Rank n) {
-    const WaitInfo& wi = waits_[static_cast<std::size_t>(n)];
-    for (const Rank t : wi.targets()) {
+    for (const Rank t : targetsOf(n)) {
       if (t == waiter_world) return true;  // cycle closed
       if (t < 0 || t >= world_size_ || visited.count(t) != 0 || !blocked(t)) {
         continue;
@@ -429,6 +472,7 @@ void Checker::beginWait(Rank waiter_world,
     os << " -> ";
   }
   os << "rank " << waiter_world;
+  WaitInfo& w = waits_[static_cast<std::size_t>(waiter_world)];
   w.active = false;  // this rank will not block; it throws instead
   fail(os.str());
 }
@@ -438,6 +482,7 @@ void Checker::endWait(Rank waiter_world) {
   w.active = false;
   w.targets = nullptr;
   w.ev = nullptr;
+  w.edges.clear();
 }
 
 }  // namespace tcio::check

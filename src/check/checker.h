@@ -189,6 +189,25 @@ class Checker {
   /// and throws CheckFailure when this wait closes a cycle of blocked ranks.
   void beginWait(Rank waiter_world, std::function<std::vector<Rank>()> targets,
                  const sim::Event* ev, const char* site);
+
+  /// One leg of an AND-wait: the waiter needs `target` to act, and `ev`
+  /// (non-owning; kept alive by `keepalive`) signals that leg done. A leg
+  /// whose event is already ready contributes no wait-for edge.
+  struct WaitEdge {
+    Rank target = -1;                       // world rank waited on
+    const sim::Event* ev = nullptr;         // completion event of this leg
+    std::shared_ptr<const void> keepalive;  // owns whatever `ev` lives in
+  };
+
+  /// Declares an AND-wait (MPI_Waitall): `waiter_world` blocks until EVERY
+  /// edge's event fires, so it is blocked while ANY edge is pending — and
+  /// only pending edges are wait-for edges. Modeling the whole waitAll as a
+  /// single wait on one event would false-cycle a rank whose remaining legs
+  /// are already satisfied (e.g. a client blocked on a delegate reply plus a
+  /// collective whose message already arrived). Edges with ready events are
+  /// dropped on entry; if none remain, nothing is registered.
+  void beginWaitAll(Rank waiter_world, std::vector<WaitEdge> edges,
+                    const char* site);
   void endWait(Rank waiter_world);
 
   const CheckerStats& stats() const { return stats_; }
@@ -232,6 +251,9 @@ class Checker {
     std::int64_t segments_per_rank = 0;
     int registered = 0;
     int closed = 0;
+    /// Largest close-reported size. Sharded backends (delegates) report each
+    /// rank's local high-water mark; the file extent is their maximum.
+    Bytes final_size = 0;
     bool session_done = false;
     std::map<SegmentId, Rank> remap;
     std::set<Rank> dead;
@@ -246,8 +268,15 @@ class Checker {
     bool active = false;
     std::function<std::vector<Rank>()> targets;
     const sim::Event* ev = nullptr;
+    /// Non-empty for AND-waits; then `targets`/`ev` are unused and the rank
+    /// is blocked exactly while any edge's event is pending.
+    std::vector<WaitEdge> edges;
     const char* site = nullptr;
   };
+
+  /// Shared cycle search for beginWait/beginWaitAll; `waits_[waiter]` must
+  /// already be populated. Throws on a cycle (after deactivating the waiter).
+  void detectCycle(Rank waiter_world);
 
   int world_size_;
   std::vector<std::atomic<const char*>> labels_;

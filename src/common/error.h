@@ -92,6 +92,19 @@ class OstFailedError : public FsError {
   int ost;
 };
 
+/// An I/O delegate's bounded request queue is at its admission watermark (or
+/// its staging-frame pool is exhausted): the request was rejected before any
+/// payload moved. Transient by construction — the client backs off in
+/// simulated time and resubmits; applications never see it through the
+/// transparent API. Carries the rejecting delegate for queue diagnostics.
+class DelegateBusyError : public Error {
+ public:
+  DelegateBusyError(const std::string& what, int busy_delegate)
+      : Error(what), delegate(busy_delegate) {}
+
+  int delegate;
+};
+
 /// Misuse of the simulated MPI layer (rank out of range, uncommitted
 /// datatype, window access outside bounds, ...).
 class MpiError : public Error {

@@ -1,0 +1,592 @@
+#include "delegate/client.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "mpi/agreement.h"
+#include "mpi/datatype.h"
+#include "sim/backoff.h"
+
+namespace tcio::delegate {
+
+namespace {
+
+/// Admission livelock guard: a queue this persistently full means the
+/// session is misconfigured (watermark 0, or a wedged delegate).
+constexpr int kMaxBusyAttempts = 1 << 20;
+
+std::uint64_t bit(int d) { return std::uint64_t{1} << d; }
+
+}  // namespace
+
+Channel::Channel(Session& session)
+    : s_(&session), comm_(&session.comm()) {
+  TCIO_CHECK_MSG(!s_->isDelegate(), "Channel runs on client ranks only");
+  // Busy-retry backoff: start well under a service quantum and cap at a few
+  // simulated milliseconds so a drained queue is re-probed promptly.
+  busy_policy_.max_attempts = kMaxBusyAttempts;
+  busy_policy_.base_backoff = 50.0e-6;
+  busy_policy_.backoff_multiplier = 2.0;
+  busy_policy_.max_backoff = 5.0e-3;
+  busy_policy_.jitter_fraction = 0.5;
+}
+
+// -- Wire helpers -------------------------------------------------------------
+
+void Channel::sendDescriptor(int delegate, const RequestHeader& h,
+                             const std::vector<WireExtent>& extents,
+                             const std::string& name) {
+  std::vector<std::byte> msg(sizeof(h) +
+                             extents.size() * sizeof(WireExtent) +
+                             name.size());
+  std::memcpy(msg.data(), &h, sizeof(h));
+  std::byte* cursor = msg.data() + sizeof(h);
+  if (!extents.empty()) {
+    std::memcpy(cursor, extents.data(), extents.size() * sizeof(WireExtent));
+    cursor += extents.size() * sizeof(WireExtent);
+  }
+  if (!name.empty()) std::memcpy(cursor, name.data(), name.size());
+  comm_->send(msg.data(), static_cast<Bytes>(msg.size()), delegate, kReqTag);
+}
+
+bool Channel::awaitReply(int delegate, std::int64_t seq, ReplyMsg* out,
+                         std::vector<std::byte>* extra) {
+  const auto take = [&](const std::vector<std::byte>& msg) {
+    std::memcpy(out, msg.data(), sizeof(*out));
+    if (extra != nullptr) {
+      extra->assign(msg.begin() + sizeof(*out), msg.end());
+    }
+  };
+  std::deque<std::vector<std::byte>>& stash = stash_[delegate];
+  for (auto it = stash.begin(); it != stash.end(); ++it) {
+    ReplyMsg r;
+    std::memcpy(&r, it->data(), sizeof(r));
+    if (r.seq == seq) {
+      take(*it);
+      stash.erase(it);
+      return true;
+    }
+  }
+  std::vector<std::byte> buf(static_cast<std::size_t>(maxReplyBytes()));
+  for (;;) {
+    mpi::RecvStatus st;
+    if (s_->crashEnabled()) {
+      const bool got = comm_->recvUntil(
+          buf.data(), static_cast<Bytes>(buf.size()), delegate, kRepTag,
+          comm_->proc().now() + s_->config().crash.liveness_window,
+          s_->config().crash.liveness_poll, &st);
+      if (!got) {
+        suspect(delegate);
+        return false;
+      }
+    } else {
+      st = comm_->recv(buf.data(), static_cast<Bytes>(buf.size()), delegate,
+                       kRepTag);
+    }
+    ReplyMsg r;
+    std::memcpy(&r, buf.data(), sizeof(r));
+    if (r.kind == ReplyKind::kError && r.seq == seq) {
+      const std::string text(
+          reinterpret_cast<const char*>(buf.data() + sizeof(r)),
+          static_cast<std::size_t>(r.value2));
+      mpi::throwTyped(static_cast<std::int32_t>(r.value), text);
+    }
+    if (r.seq == seq) {
+      take({buf.begin(), buf.begin() + st.count});
+      return true;
+    }
+    stash.emplace_back(buf.begin(), buf.begin() + st.count);
+  }
+}
+
+void Channel::suspect(int delegate) { suspected_ |= bit(delegate); }
+
+// -- Open ---------------------------------------------------------------------
+
+void Channel::open(const std::string& name, unsigned flags) {
+  const std::uint64_t key = fileKey(name);
+  std::vector<std::pair<int, std::int64_t>> outstanding;
+  for (const int d : s_->liveDelegates()) {
+    RequestHeader h;
+    h.op = Op::kOpen;
+    h.client = comm_->rank();
+    h.seq = next_seq_++;
+    h.file_key = key;
+    h.name_len = static_cast<std::int32_t>(name.size());
+    h.aux = static_cast<std::int64_t>(flags);
+    sendDescriptor(d, h, {}, name);
+    outstanding.emplace_back(d, h.seq);
+  }
+  for (const auto& [d, seq] : outstanding) {
+    ReplyMsg r;
+    TCIO_CHECK_MSG(awaitReply(d, seq, &r),
+                   "delegate died during open — open before injecting "
+                   "crashes (crash points fire on data ops)");
+    TCIO_CHECK(r.kind == ReplyKind::kOpenDone);
+  }
+}
+
+// -- Puts ---------------------------------------------------------------------
+
+std::int64_t Channel::postPut(std::uint64_t key,
+                              std::vector<WireExtent> extents,
+                              std::vector<std::byte> payload) {
+  TCIO_CHECK(!extents.empty());
+  PendingOp op;
+  op.op = Op::kPut;
+  op.key = key;
+  op.owner = s_->ownerOfSegment(extents.front().seg);
+  op.payload_bytes = static_cast<Bytes>(payload.size());
+  op.extents = std::move(extents);
+  op.payload = std::move(payload);
+  op.deferred = (suspected_ & bit(op.owner)) != 0;
+  const std::int64_t seq = next_seq_++;
+  if (!op.deferred) {
+    RequestHeader h;
+    h.op = Op::kPut;
+    h.client = comm_->rank();
+    h.seq = seq;
+    h.file_key = key;
+    h.payload_bytes = op.payload_bytes;
+    h.n_extents = static_cast<std::int32_t>(op.extents.size());
+    sendDescriptor(op.owner, h, op.extents);
+  }
+  pending_.emplace(seq, std::move(op));
+  return seq;
+}
+
+bool Channel::awaitAdmission(PendingOp& op, std::int64_t seq,
+                             std::int64_t* frame) {
+  for (int attempt = 1;; ++attempt) {
+    ReplyMsg r;
+    if (!awaitReply(op.owner, seq, &r)) return false;
+    if (r.kind == ReplyKind::kAccepted) {
+      *frame = r.value;
+      return true;
+    }
+    TCIO_CHECK(r.kind == ReplyKind::kBusy);
+    if (attempt >= busy_policy_.max_attempts) {
+      throw DelegateBusyError("delegate admission retried " +
+                                  std::to_string(attempt) +
+                                  " times without a free queue slot",
+                              op.owner);
+    }
+    ++s_->client_busy_retries;
+    comm_->proc().advance(
+        sim::backoffDelay(busy_policy_, attempt, comm_->proc().rng()));
+    RequestHeader h;
+    h.op = op.op;
+    h.client = comm_->rank();
+    h.seq = seq;
+    h.file_key = op.key;
+    h.payload_bytes = op.payload_bytes;
+    h.n_extents = static_cast<std::int32_t>(op.extents.size());
+    sendDescriptor(op.owner, h, op.extents);
+  }
+}
+
+bool Channel::finishPut(std::int64_t seq) {
+  const auto it = pending_.find(seq);
+  TCIO_CHECK(it != pending_.end());
+  PendingOp op = std::move(it->second);
+  pending_.erase(it);
+  if (op.deferred || (suspected_ & bit(op.owner)) != 0) {
+    op.deferred = true;
+    deferred_.push_back(std::move(op));
+    return false;
+  }
+  std::int64_t frame = -1;
+  if (!awaitAdmission(op, seq, &frame)) {
+    op.deferred = true;
+    deferred_.push_back(std::move(op));
+    return false;
+  }
+  // Stage the payload into the granted frame with one passive-target epoch,
+  // then tell the delegate the bytes are in place.
+  mpi::Window& w = s_->window();
+  w.lock(mpi::LockType::kShared, op.owner);
+  w.put(op.owner, frame * s_->frameBytes(), op.payload.data(),
+        op.payload_bytes);
+  w.unlock(op.owner);
+  RequestHeader h;
+  h.op = Op::kPutData;
+  h.client = comm_->rank();
+  h.seq = seq;
+  h.file_key = op.key;
+  sendDescriptor(op.owner, h, {});
+  ReplyMsg r;
+  if (!awaitReply(op.owner, seq, &r)) {
+    // Acknowledgement lost to a death. The put may or may not have been
+    // journaled; resubmitting is idempotent either way.
+    op.deferred = true;
+    deferred_.push_back(std::move(op));
+    return false;
+  }
+  TCIO_CHECK(r.kind == ReplyKind::kPutDone);
+  return true;
+}
+
+void Channel::put(std::uint64_t key, std::vector<WireExtent> extents,
+                  std::vector<std::byte> payload) {
+  // Chunk on the frame size and the descriptor extent cap; each chunk is one
+  // admission-controlled request.
+  const Bytes frame_bytes = s_->frameBytes();
+  const std::int64_t max_extents = s_->config().delegate.max_wire_extents;
+  std::vector<WireExtent> chunk;
+  Bytes chunk_bytes = 0;
+  Bytes consumed = 0;
+  const auto flush_chunk = [&] {
+    if (chunk.empty()) return;
+    std::vector<std::byte> slice(
+        payload.begin() + consumed, payload.begin() + consumed + chunk_bytes);
+    consumed += chunk_bytes;
+    finishPut(postPut(key, std::move(chunk), std::move(slice)));
+    chunk.clear();
+    chunk_bytes = 0;
+  };
+  for (const WireExtent& e : extents) {
+    const Bytes len = e.end - e.begin;
+    TCIO_CHECK_MSG(len <= frame_bytes,
+                   "one extent must fit the staging frame — split it");
+    if (!chunk.empty() &&
+        (chunk_bytes + len > frame_bytes ||
+         static_cast<std::int64_t>(chunk.size()) >= max_extents)) {
+      flush_chunk();
+    }
+    chunk.push_back(e);
+    chunk_bytes += len;
+  }
+  flush_chunk();
+}
+
+// -- Gets ---------------------------------------------------------------------
+
+std::int64_t Channel::postGet(std::uint64_t key,
+                              std::vector<WireExtent> extents,
+                              Bytes payload_bytes) {
+  TCIO_CHECK(!extents.empty());
+  PendingOp op;
+  op.op = Op::kGet;
+  op.key = key;
+  op.owner = s_->ownerOfSegment(extents.front().seg);
+  op.payload_bytes = payload_bytes;
+  op.extents = std::move(extents);
+  TCIO_CHECK_MSG((suspected_ & bit(op.owner)) == 0,
+                 "reading from a crashed delegate is not supported — "
+                 "resolve failures (flush) before reading");
+  const std::int64_t seq = next_seq_++;
+  RequestHeader h;
+  h.op = Op::kGet;
+  h.client = comm_->rank();
+  h.seq = seq;
+  h.file_key = key;
+  h.payload_bytes = payload_bytes;
+  h.n_extents = static_cast<std::int32_t>(op.extents.size());
+  sendDescriptor(op.owner, h, op.extents);
+  pending_.emplace(seq, std::move(op));
+  return seq;
+}
+
+void Channel::finishGet(std::int64_t seq, std::byte* out) {
+  const auto it = pending_.find(seq);
+  TCIO_CHECK(it != pending_.end());
+  PendingOp op = std::move(it->second);
+  pending_.erase(it);
+  std::int64_t frame = -1;
+  TCIO_CHECK_MSG(awaitAdmission(op, seq, &frame),
+                 "delegate died while serving a get");
+  ReplyMsg r;
+  TCIO_CHECK_MSG(awaitReply(op.owner, seq, &r),
+                 "delegate died while serving a get");
+  TCIO_CHECK(r.kind == ReplyKind::kGetData);
+  TCIO_CHECK(r.value == op.payload_bytes);
+  mpi::Window& w = s_->window();
+  w.lock(mpi::LockType::kShared, op.owner);
+  w.get(op.owner, frame * s_->frameBytes(), out, op.payload_bytes);
+  w.unlock(op.owner);
+  RequestHeader h;
+  h.op = Op::kGetAck;
+  h.client = comm_->rank();
+  h.seq = seq;
+  h.file_key = op.key;
+  h.aux = frame;
+  sendDescriptor(op.owner, h, {});
+}
+
+void Channel::get(std::uint64_t key, const std::vector<WireExtent>& extents,
+                  std::byte* out) {
+  const Bytes frame_bytes = s_->frameBytes();
+  const std::int64_t max_extents = s_->config().delegate.max_wire_extents;
+  std::vector<WireExtent> chunk;
+  Bytes chunk_bytes = 0;
+  Bytes consumed = 0;
+  const auto flush_chunk = [&] {
+    if (chunk.empty()) return;
+    const Bytes bytes = chunk_bytes;
+    finishGet(postGet(key, std::move(chunk), bytes), out + consumed);
+    consumed += bytes;
+    chunk.clear();
+    chunk_bytes = 0;
+  };
+  for (const WireExtent& e : extents) {
+    const Bytes len = e.end - e.begin;
+    TCIO_CHECK_MSG(len <= frame_bytes,
+                   "one extent must fit the staging frame — split it");
+    if (!chunk.empty() &&
+        (chunk_bytes + len > frame_bytes ||
+         static_cast<std::int64_t>(chunk.size()) >= max_extents)) {
+      flush_chunk();
+    }
+    chunk.push_back(e);
+    chunk_bytes += len;
+  }
+  flush_chunk();
+}
+
+// -- Flush / close ------------------------------------------------------------
+
+void Channel::flushDelegates(std::uint64_t key) {
+  std::vector<std::pair<int, std::int64_t>> outstanding;
+  for (const int d : s_->liveDelegates()) {
+    if ((suspected_ & bit(d)) != 0) continue;
+    RequestHeader h;
+    h.op = Op::kFlush;
+    h.client = comm_->rank();
+    h.seq = next_seq_++;
+    h.file_key = key;
+    sendDescriptor(d, h, {});
+    outstanding.emplace_back(d, h.seq);
+  }
+  for (const auto& [d, seq] : outstanding) {
+    ReplyMsg r;
+    if (!awaitReply(d, seq, &r)) continue;  // suspected; resolved by caller
+    TCIO_CHECK(r.kind == ReplyKind::kFlushDone);
+  }
+}
+
+Bytes Channel::closeFile(std::uint64_t key) {
+  std::vector<std::pair<int, std::int64_t>> outstanding;
+  for (const int d : s_->liveDelegates()) {
+    if ((suspected_ & bit(d)) != 0) continue;
+    RequestHeader h;
+    h.op = Op::kClose;
+    h.client = comm_->rank();
+    h.seq = next_seq_++;
+    h.file_key = key;
+    sendDescriptor(d, h, {});
+    outstanding.emplace_back(d, h.seq);
+  }
+  Bytes remote_max = 0;
+  for (const auto& [d, seq] : outstanding) {
+    ReplyMsg r;
+    if (!awaitReply(d, seq, &r)) continue;  // died mid-drain; adopter covers
+    TCIO_CHECK(r.kind == ReplyKind::kCloseDone);
+    remote_max = std::max<Bytes>(remote_max, r.value);
+  }
+  return remote_max;
+}
+
+// -- Crash protocol -----------------------------------------------------------
+
+void Channel::resolveFailures() {
+  if (!s_->crashEnabled()) return;
+  mpi::Comm& cc = s_->clientComm();
+  for (;;) {
+    std::uint64_t sus = suspected_;
+    cc.allreduce(&sus, 1, mpi::ReduceOp::kBitOr);
+    const std::uint64_t fresh = sus & ~agreed_dead_;
+    if (fresh == 0) break;
+    agreed_dead_ |= fresh;
+    suspected_ |= fresh;
+    for (int d = 0; d < s_->numDelegates(); ++d) {
+      if ((fresh & bit(d)) != 0) s_->markDead(d);
+    }
+    if (cc.rank() == 0) {
+      // Tell every delegate the verdict — the dead list rides in the extent
+      // slots. Suspects get it too (a falsely-suspected delegate must
+      // self-fence); only confirmed-live delegates owe a kAdoptDone.
+      std::vector<WireExtent> dead_list;
+      for (int d = 0; d < s_->numDelegates(); ++d) {
+        if ((fresh & bit(d)) != 0) dead_list.push_back({d, 0, 0});
+      }
+      std::vector<std::pair<int, std::int64_t>> outstanding;
+      for (int d = 0; d < s_->numDelegates(); ++d) {
+        RequestHeader h;
+        h.op = Op::kAdopt;
+        h.client = comm_->rank();
+        h.seq = next_seq_++;
+        h.n_extents = static_cast<std::int32_t>(dead_list.size());
+        sendDescriptor(d, h, dead_list);
+        if ((agreed_dead_ & bit(d)) == 0) outstanding.emplace_back(d, h.seq);
+      }
+      for (const auto& [d, seq] : outstanding) {
+        ReplyMsg r;
+        if (!awaitReply(d, seq, &r)) continue;  // next round agrees on it
+        TCIO_CHECK(r.kind == ReplyKind::kAdoptDone);
+      }
+    }
+    // Adoption (journal replay) must be complete everywhere before deferred
+    // puts reach the new owners, or the replay could clobber fresher bytes.
+    cc.barrier();
+    resubmitDeferred();
+  }
+}
+
+void Channel::resubmitDeferred() {
+  std::vector<PendingOp> work = std::move(deferred_);
+  deferred_.clear();
+  for (PendingOp& op : work) {
+    TCIO_CHECK(op.op == Op::kPut);
+    ++s_->client_deferred_resubmissions;
+    finishPut(postPut(op.key, std::move(op.extents), std::move(op.payload)));
+  }
+}
+
+// -- DFile --------------------------------------------------------------------
+
+DFile::DFile(Channel& ch, std::string name, unsigned flags)
+    : ch_(&ch), s_(&ch.session()), name_(std::move(name)),
+      key_(fileKey(name_)),
+      forwarding_(s_->config().node_aggregation) {
+  if (forwarding_) {
+    node_comm_ = std::make_unique<mpi::Comm>(
+        s_->clientComm().splitByNode(/*key=*/0));
+  }
+  ch_->open(name_, flags);
+}
+
+void DFile::writeAt(Offset off, std::span<const std::byte> data) {
+  TCIO_CHECK(!closed_);
+  const Bytes seg_size = s_->config().segment_size;
+  local_max_ = std::max<Bytes>(local_max_,
+                               off + static_cast<Bytes>(data.size()));
+  Offset pos = off;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const SegmentId g = pos / seg_size;
+    const Offset in_seg = pos - g * seg_size;
+    const Bytes take = std::min<Bytes>(
+        seg_size - in_seg, static_cast<Bytes>(data.size() - done));
+    putSpan(g, in_seg, data.subspan(done, static_cast<std::size_t>(take)));
+    pos += take;
+    done += static_cast<std::size_t>(take);
+  }
+}
+
+void DFile::putSpan(SegmentId g, Offset begin_in_seg,
+                    std::span<const std::byte> bytes) {
+  const Offset end_in_seg = begin_in_seg + static_cast<Bytes>(bytes.size());
+  if (forwarding_) {
+    StagedSeg& ss = staged_[g];
+    if (ss.data.empty()) {
+      ss.data.assign(static_cast<std::size_t>(s_->config().segment_size),
+                     std::byte{0});
+    }
+    std::memcpy(ss.data.data() + begin_in_seg, bytes.data(), bytes.size());
+    ss.extents.push_back({begin_in_seg, end_in_seg});
+    return;
+  }
+  ch_->put(key_, {{g, begin_in_seg, end_in_seg}},
+           {bytes.begin(), bytes.end()});
+}
+
+void DFile::readAt(Offset off, std::span<std::byte> out) {
+  TCIO_CHECK(!closed_);
+  TCIO_CHECK_MSG(staged_.empty(),
+                 "forwarding mode: flush() before readAt — staged writes "
+                 "are not visible to the delegates yet");
+  const Bytes seg_size = s_->config().segment_size;
+  Offset pos = off;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const SegmentId g = pos / seg_size;
+    const Offset in_seg = pos - g * seg_size;
+    const Bytes take = std::min<Bytes>(
+        seg_size - in_seg, static_cast<Bytes>(out.size() - done));
+    ch_->get(key_, {{g, in_seg, in_seg + take}}, out.data() + done);
+    pos += take;
+    done += static_cast<std::size_t>(take);
+  }
+}
+
+void DFile::flush() {
+  TCIO_CHECK(!closed_);
+  if (forwarding_) {
+    funnelToLeader();
+    return;
+  }
+  ch_->resolveFailures();
+  ch_->flushDelegates(key_);
+  ch_->resolveFailures();
+}
+
+void DFile::funnelToLeader() {
+  mpi::Comm& node = *node_comm_;
+  const Bytes seg_size = s_->config().segment_size;
+  // One message per merged run: [seg][begin][end][payload]; seg -1 ends the
+  // stream. The leader overlays peers' runs onto its own staging and then
+  // submits one coalesced put stream per segment.
+  if (node.rank() != 0) {
+    for (auto& [g, ss] : staged_) {
+      for (const Extent& run : mpi::normalizeOverlapping(ss.extents)) {
+        std::vector<std::byte> msg(3 * sizeof(std::int64_t) +
+                                   static_cast<std::size_t>(run.size()));
+        const std::int64_t head[3] = {g, run.begin, run.end};
+        std::memcpy(msg.data(), head, sizeof(head));
+        std::memcpy(msg.data() + sizeof(head), ss.data.data() + run.begin,
+                    static_cast<std::size_t>(run.size()));
+        node.send(msg.data(), static_cast<Bytes>(msg.size()), 0, kFunnelTag);
+      }
+    }
+    const std::int64_t fin[3] = {-1, 0, 0};
+    node.send(fin, sizeof(fin), 0, kFunnelTag);
+    staged_.clear();
+  } else {
+    std::vector<std::byte> buf(3 * sizeof(std::int64_t) +
+                               static_cast<std::size_t>(seg_size));
+    for (int peer = 1; peer < node.size(); ++peer) {
+      for (;;) {
+        const mpi::RecvStatus st = node.recv(
+            buf.data(), static_cast<Bytes>(buf.size()), peer, kFunnelTag);
+        std::int64_t head[3];
+        std::memcpy(head, buf.data(), sizeof(head));
+        if (head[0] < 0) break;
+        StagedSeg& ss = staged_[head[0]];
+        if (ss.data.empty()) {
+          ss.data.assign(static_cast<std::size_t>(seg_size), std::byte{0});
+        }
+        const Bytes len = head[2] - head[1];
+        TCIO_CHECK(st.count == static_cast<Bytes>(sizeof(head)) + len);
+        std::memcpy(ss.data.data() + head[1], buf.data() + sizeof(head),
+                    static_cast<std::size_t>(len));
+        ss.extents.push_back({head[1], head[2]});
+      }
+    }
+    for (auto& [g, ss] : staged_) {
+      std::vector<WireExtent> extents;
+      std::vector<std::byte> payload;
+      for (const Extent& run : mpi::normalizeOverlapping(ss.extents)) {
+        extents.push_back({g, run.begin, run.end});
+        payload.insert(payload.end(), ss.data.begin() + run.begin,
+                       ss.data.begin() + run.end);
+      }
+      ch_->put(key_, std::move(extents), std::move(payload));
+    }
+    staged_.clear();
+  }
+  node.barrier();
+}
+
+Bytes DFile::close() {
+  TCIO_CHECK(!closed_);
+  flush();
+  closed_ = true;
+  const Bytes remote_max = ch_->closeFile(key_);
+  ch_->resolveFailures();
+  Bytes size = std::max<Bytes>(local_max_, remote_max);
+  s_->clientComm().allreduce(&size, 1, mpi::ReduceOp::kMax);
+  return size;
+}
+
+}  // namespace tcio::delegate

@@ -1,0 +1,168 @@
+// Client side of the delegate protocol (DESIGN.md §10).
+//
+// `Channel` is one client rank's connection to the delegate set: it frames
+// descriptors, moves payload through the staging windows, retries kBusy
+// rejections with simulated-time backoff, and — in crash mode — turns reply
+// timeouts into the suspicion/agreement/adoption protocol. `DFile` layers
+// the byte-offset file API on top: it splits accesses on segment boundaries,
+// routes each piece to its shard owner, and (in node-forwarding mode) stages
+// writes locally so the node leader can funnel them to the delegates in one
+// coalesced burst per segment.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "delegate/protocol.h"
+#include "delegate/session.h"
+
+namespace tcio::delegate {
+
+class Channel {
+ public:
+  /// Client ranks only.
+  explicit Channel(Session& session);
+
+  Session& session() { return *s_; }
+
+  // -- Synchronous operations -------------------------------------------------
+
+  /// Opens `name` at every live delegate (each owns a shard of the file).
+  void open(const std::string& name, unsigned flags);
+
+  /// Writes `payload` (extents packed back to back) into one segment at its
+  /// current owner. Chunks the request to honour the frame size and the
+  /// descriptor extent cap. A dead/suspected owner defers the pieces for
+  /// resubmission at the next resolveFailures().
+  void put(std::uint64_t key, std::vector<WireExtent> extents,
+           std::vector<std::byte> payload);
+
+  /// Reads one segment's extents (packed) from its owner.
+  void get(std::uint64_t key, const std::vector<WireExtent>& extents,
+           std::byte* out);
+
+  /// Per-delegate queue barrier: returns once every earlier request this
+  /// client queued is serviced.
+  void flushDelegates(std::uint64_t key);
+
+  /// Sends kClose to every live delegate and collects the kCloseDone
+  /// verdicts; returns the max delegate-local written extent seen. NOT
+  /// collective — DFile::close wraps it into the collective protocol.
+  Bytes closeFile(std::uint64_t key);
+
+  // -- Asynchronous primitives (multi-outstanding pressure in tests) ----------
+
+  /// Sends the put descriptor and returns its sequence number without
+  /// waiting for admission — the way to pile N requests onto one queue.
+  std::int64_t postPut(std::uint64_t key, std::vector<WireExtent> extents,
+                       std::vector<std::byte> payload);
+  /// Drives the posted put to completion (admission retry loop, payload
+  /// stage, kPutDone). Returns false when the owner died and the put was
+  /// deferred instead.
+  bool finishPut(std::int64_t seq);
+
+  std::int64_t postGet(std::uint64_t key, std::vector<WireExtent> extents,
+                       Bytes payload_bytes);
+  void finishGet(std::int64_t seq, std::byte* out);
+
+  // -- Crash protocol ---------------------------------------------------------
+
+  /// Collective over clientComm: agree on the suspected-dead set (kBitOr of
+  /// suspicion bitmaps), drive shard adoption on the survivors, resubmit
+  /// every deferred put to the new owners, and repeat until a round adds no
+  /// new deaths. No-op outside crash mode.
+  void resolveFailures();
+
+  bool anySuspected() const { return suspected_ != 0; }
+
+ private:
+  struct PendingOp {
+    Op op = Op::kPut;
+    std::uint64_t key = 0;
+    int owner = -1;
+    std::vector<WireExtent> extents;
+    std::vector<std::byte> payload;  // puts: bytes to stage; gets: unused
+    Bytes payload_bytes = 0;
+    bool deferred = false;
+  };
+
+  /// Serializes and sends one descriptor on kReqTag.
+  void sendDescriptor(int delegate, const RequestHeader& h,
+                      const std::vector<WireExtent>& extents,
+                      const std::string& name = {});
+  /// Awaits the reply carrying `seq` from `delegate`, stashing out-of-order
+  /// replies. Returns false on a liveness timeout (crash mode only), after
+  /// marking the delegate suspected. kError replies rethrow typed.
+  bool awaitReply(int delegate, std::int64_t seq, ReplyMsg* out,
+                  std::vector<std::byte>* extra = nullptr);
+  /// Admission loop: resends the descriptor after each kBusy with
+  /// exponential simulated-time backoff until kAccepted (or a timeout).
+  bool awaitAdmission(PendingOp& op, std::int64_t seq, std::int64_t* frame);
+  void suspect(int delegate);
+  void resubmitDeferred();
+
+  Session* s_;
+  mpi::Comm* comm_;
+  std::int64_t next_seq_ = 1;
+  std::map<std::int64_t, PendingOp> pending_;
+  std::vector<PendingOp> deferred_;
+  /// Replies received while awaiting a different sequence number, per
+  /// delegate, in arrival order.
+  std::map<int, std::deque<std::vector<std::byte>>> stash_;
+  std::uint64_t suspected_ = 0;  // local suspicion bitmap (bit d)
+  std::uint64_t agreed_dead_ = 0;
+  RetryPolicy busy_policy_;
+};
+
+/// One open file in delegate mode: the Program-1 byte API routed through a
+/// Channel. open/close are collective over the session's client ranks.
+class DFile {
+ public:
+  DFile(Channel& ch, std::string name, unsigned flags);
+
+  /// Writes [off, off+data.size()). Direct mode sends one put per touched
+  /// segment; node-forwarding mode stages locally until flush/close.
+  void writeAt(Offset off, std::span<const std::byte> data);
+  /// Reads [off, off+out.size()) from the shard owners (flushes local
+  /// staging first in forwarding mode).
+  void readAt(Offset off, std::span<std::byte> out);
+
+  /// Forwarding mode: funnels the staged segments to the node leader, which
+  /// coalesces them and submits to the delegates. Collective over the node.
+  /// Direct mode: a per-delegate queue barrier (plus failure resolution in
+  /// crash mode).
+  void flush();
+
+  /// Collective over the session's clients. Drains every shard, closes the
+  /// delegate-side file, and returns the agreed final size.
+  Bytes close();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct StagedSeg {
+    std::vector<std::byte> data;
+    std::vector<Extent> extents;
+  };
+
+  void putSpan(SegmentId g, Offset begin_in_seg,
+               std::span<const std::byte> bytes);
+  void funnelToLeader();
+
+  Channel* ch_;
+  Session* s_;
+  std::string name_;
+  std::uint64_t key_;
+  bool forwarding_;
+  std::unique_ptr<mpi::Comm> node_comm_;  // forwarding mode only
+  std::map<SegmentId, StagedSeg> staged_;
+  Bytes local_max_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tcio::delegate

@@ -1,0 +1,535 @@
+#include "delegate/server.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "check/checker.h"
+#include "common/error.h"
+#include "mpi/agreement.h"
+#include "mpi/datatype.h"
+
+namespace tcio::delegate {
+
+namespace {
+/// Virtual-time quantum for the nonblocking arrival probe (recvUntil with
+/// deadline == now returns immediately; the poll value is never waited).
+constexpr SimTime kProbePoll = 1.0e-9;
+}  // namespace
+
+Server::Server(Session& session)
+    : s_(&session), comm_(&session.comm()),
+      client_(session.filesystem(), session.comm().proc()),
+      me_(session.comm().rank()) {
+  const core::TcioConfig& cfg = s_->config();
+  if (cfg.faults.enabled) client_.installFaultPlan(cfg.faults);
+  client_.setRetryPolicy(cfg.retry);
+  if (cfg.crash.enabled) {
+    TCIO_CHECK_MSG(cfg.crash.journal,
+                   "delegate crash tolerance requires journaling: adopted "
+                   "shards are reconstructed exclusively from the WAL");
+    crash_plan_ = std::make_unique<CrashPlan>(cfg.faults, me_);
+  }
+  free_frames_.reserve(static_cast<std::size_t>(cfg.delegate.queue_capacity));
+  for (std::int64_t i = cfg.delegate.queue_capacity - 1; i >= 0; --i) {
+    free_frames_.push_back(i);
+  }
+}
+
+void Server::run() {
+  check::ScopedLabel phase(comm_->world().checker(), comm_->proc().rank(),
+                           "delegate::Server::run");
+  try {
+    while (!shutdown_) {
+      drainArrivals(/*block=*/!hasServiceable());
+      if (hasServiceable()) serviceOne();
+    }
+  } catch (const RankCrashedError&) {
+    // Fail-stop: the delegate goes silent. Clients detect the silence via
+    // reply timeouts and run the adoption protocol.
+  }
+}
+
+// -- Arrival side -------------------------------------------------------------
+
+void Server::drainArrivals(bool block) {
+  std::vector<std::byte> buf(
+      static_cast<std::size_t>(maxRequestBytes(s_->config())));
+  if (block) {
+    const mpi::RecvStatus st = comm_->recv(
+        buf.data(), static_cast<Bytes>(buf.size()), mpi::kAnySource, kReqTag);
+    handleArrival(buf.data(), st.count);
+  }
+  for (;;) {
+    mpi::RecvStatus st;
+    const bool got = comm_->recvUntil(
+        buf.data(), static_cast<Bytes>(buf.size()), mpi::kAnySource, kReqTag,
+        comm_->proc().now(), kProbePoll, &st);
+    if (!got) break;
+    handleArrival(buf.data(), st.count);
+  }
+}
+
+void Server::handleArrival(const std::byte* buf, Bytes received) {
+  TCIO_CHECK(received >= static_cast<Bytes>(sizeof(RequestHeader)));
+  Pending p;
+  std::memcpy(&p.h, buf, sizeof(p.h));
+  const std::byte* cursor = buf + sizeof(p.h);
+  p.extents.resize(static_cast<std::size_t>(p.h.n_extents));
+  if (p.h.n_extents > 0) {
+    std::memcpy(p.extents.data(), cursor,
+                static_cast<std::size_t>(p.h.n_extents) * sizeof(WireExtent));
+    cursor += static_cast<std::size_t>(p.h.n_extents) * sizeof(WireExtent);
+  }
+  if (p.h.name_len > 0) {
+    p.name.assign(reinterpret_cast<const char*>(cursor),
+                  static_cast<std::size_t>(p.h.name_len));
+  }
+
+  switch (p.h.op) {
+    case Op::kPutData: {
+      // The payload for an admitted put is staged — mark it serviceable.
+      auto& q = queues_[p.h.client];
+      for (Pending& e : q) {
+        if (e.h.op == Op::kPut && e.h.seq == p.h.seq) {
+          e.ready = true;
+          return;
+        }
+      }
+      TCIO_CHECK_MSG(false, "kPutData for an unknown admitted put");
+      return;
+    }
+    case Op::kGetAck:
+      // aux carries the frame the client finished copying out of.
+      freeFrame(p.h.aux);
+      return;
+    case Op::kPut:
+    case Op::kGet:
+      admitOrReject(std::move(p));
+      return;
+    default:
+      // Control traffic bypasses admission and holds no frame.
+      queues_[p.h.client].push_back(std::move(p));
+      return;
+  }
+}
+
+void Server::admitOrReject(Pending p) {
+  if (data_queued_ >= s_->queueWatermark() || free_frames_.empty()) {
+    ++stats_.rejections;
+    reply(p.h.client, p.h.seq, ReplyKind::kBusy);
+    return;
+  }
+  TCIO_CHECK_MSG(p.h.payload_bytes <= s_->frameBytes(),
+                 "delegate request payload exceeds the staging frame");
+  p.frame = free_frames_.back();
+  free_frames_.pop_back();
+  p.ready = p.h.op != Op::kPut;  // puts wait for the staged payload
+  ++data_queued_;
+  ++stats_.submissions;
+  stats_.queue_high_watermark =
+      std::max(stats_.queue_high_watermark, data_queued_);
+  const std::int64_t frame = p.frame;
+  const int client = p.h.client;
+  const std::int64_t seq = p.h.seq;
+  queues_[client].push_back(std::move(p));
+  reply(client, seq, ReplyKind::kAccepted, frame);
+}
+
+void Server::reply(int client, std::int64_t seq, ReplyKind kind,
+                   std::int64_t value) {
+  ReplyMsg r;
+  r.kind = kind;
+  r.seq = seq;
+  r.value = value;
+  comm_->send(&r, sizeof(r), client, kRepTag);
+}
+
+// -- Service side -------------------------------------------------------------
+
+bool Server::hasServiceable() const {
+  for (const auto& [client, q] : queues_) {
+    if (!q.empty() && q.front().ready) return true;
+  }
+  return false;
+}
+
+void Server::serviceOne() {
+  // Round-robin over clients: one request per client per sweep, so a hot
+  // client cannot monopolize the delegate.
+  std::vector<int> clients;
+  clients.reserve(queues_.size());
+  for (const auto& [client, q] : queues_) {
+    if (!q.empty()) clients.push_back(client);
+  }
+  if (clients.empty()) return;
+  std::sort(clients.begin(), clients.end());
+  auto it = std::lower_bound(clients.begin(), clients.end(), rr_next_);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    if (it == clients.end()) it = clients.begin();
+    const int c = *it++;
+    std::deque<Pending>& q = queues_[c];
+    if (!q.front().ready) continue;  // put awaiting its payload — skip client
+    Pending p = std::move(q.front());
+    q.pop_front();
+    rr_next_ = c + 1;
+    dispatch(p);
+    return;
+  }
+}
+
+void Server::dispatch(Pending& p) {
+  const SimTime t0 = comm_->proc().now();
+  try {
+    switch (p.h.op) {
+      case Op::kOpen: serveOpen(p); break;
+      case Op::kPut: servePut(p); break;
+      case Op::kGet: serveGet(p); break;
+      case Op::kFlush: reply(p.h.client, p.h.seq, ReplyKind::kFlushDone); break;
+      case Op::kClose: serveClose(p); break;
+      case Op::kAdopt: serveAdopt(p); break;
+      case Op::kShutdown: serveShutdown(p); break;
+      default: TCIO_CHECK_MSG(false, "unexpected op in the service queue");
+    }
+  } catch (const RankCrashedError&) {
+    throw;  // fail-stop — never turn a crash into an error reply
+  } catch (const std::exception& e) {
+    // Local failure (e.g. retry-exhausted transient): typed error travels to
+    // the requesting client, which rethrows it. The delegate keeps serving.
+    mpi::CapturedError err;
+    err.capture(e);
+    std::string text = err.what.substr(0, 400);
+    std::vector<std::byte> msg(sizeof(ReplyMsg) + text.size());
+    ReplyMsg r;
+    r.kind = ReplyKind::kError;
+    r.seq = p.h.seq;
+    r.value = err.code;
+    r.value2 = static_cast<std::int64_t>(text.size());
+    std::memcpy(msg.data(), &r, sizeof(r));
+    std::memcpy(msg.data() + sizeof(r), text.data(), text.size());
+    comm_->send(msg.data(), static_cast<Bytes>(msg.size()), p.h.client,
+                kRepTag);
+    if (p.frame >= 0) {
+      freeFrame(p.frame);
+      --data_queued_;
+    }
+  }
+  stats_.service_time += comm_->proc().now() - t0;
+}
+
+Server::FileState& Server::fileFor(std::uint64_t key) {
+  const auto it = files_.find(key);
+  TCIO_CHECK_MSG(it != files_.end(), "delegate request for an unopened file");
+  return it->second;
+}
+
+Server::SegBuf& Server::segBuf(FileState& f, SegmentId g) {
+  SegBuf& sb = f.segs[g];
+  if (sb.data.empty()) {
+    sb.data.assign(static_cast<std::size_t>(s_->config().segment_size),
+                   std::byte{0});
+  }
+  return sb;
+}
+
+void Server::noteAdoptedSegment(FileState& f, SegmentId g) {
+  if (s_->naturalOwnerOf(g) == me_) return;
+  if (check::Checker* ck = comm_->world().checker()) {
+    comm_->proc().atomic([&] { ck->noteRemap(f.name, g, me_); });
+  }
+}
+
+void Server::serveOpen(Pending& p) {
+  FileState& f = files_[p.h.file_key];
+  if (f.drained) f = FileState{};  // churn reopen: fresh session state
+  if (f.opens == 0) {
+    TCIO_CHECK(!p.name.empty());
+    f.name = p.name;
+    f.fsfile = client_.open(f.name, static_cast<unsigned>(p.h.aux));
+    if (check::Checker* ck = comm_->world().checker()) {
+      comm_->proc().atomic([&] {
+        ck->registerFile(f.name, s_->numDelegates(),
+                         s_->config().segment_size,
+                         s_->config().segments_per_rank);
+      });
+    }
+  } else {
+    TCIO_CHECK_MSG(f.name == p.name, "file-key collision between names");
+  }
+  ++f.opens;
+  reply(p.h.client, p.h.seq, ReplyKind::kOpenDone);
+}
+
+void Server::servePut(Pending& p) {
+  crashPoint(CrashPoint::kAtCollective);
+  FileState& f = fileFor(p.h.file_key);
+  TCIO_CHECK(!p.extents.empty());
+  const SegmentId g = p.extents.front().seg;
+  noteAdoptedSegment(f, g);
+  crashPoint(CrashPoint::kMidRma);  // payload staged, nothing applied yet
+  SegBuf& sb = segBuf(f, g);
+  const std::byte* src = frameData(p.frame);
+  // WAL first: a record is journaled before its bytes move into the shard
+  // buffer and strictly before the acknowledgement, so an acknowledged put
+  // always survives this delegate's death.
+  const bool journaling =
+      s_->config().crash.enabled && s_->config().crash.journal;
+  if (journaling && f.journal == nullptr) {
+    f.journal = std::make_unique<core::Journal>(
+        client_, core::journalPath(f.name, me_));
+  }
+  Bytes total = 0;
+  const std::byte* cursor = src;
+  for (const WireExtent& e : p.extents) {
+    TCIO_CHECK_MSG(e.seg == g, "one put must address a single segment");
+    const Bytes len = e.end - e.begin;
+    const std::span<const std::byte> payload{cursor,
+                                             static_cast<std::size_t>(len)};
+    if (journaling) {
+      if (crash_plan_ != nullptr &&
+          crash_plan_->fires(CrashPoint::kMidJournal)) {
+        const std::int64_t frame_len = core::Journal::kHeaderBytes +
+                                       static_cast<std::int64_t>(len);
+        f.journal->append(g, e.begin, payload,
+                          crash_plan_->tornBytes(frame_len));
+        die();
+      }
+      f.journal->append(g, e.begin, payload);
+    }
+    std::memcpy(sb.data.data() + e.begin, cursor,
+                static_cast<std::size_t>(len));
+    sb.extents.push_back({e.begin, e.end});
+    ++sb.raw_extents;
+    cursor += len;
+    total += len;
+  }
+  TCIO_CHECK(total == p.h.payload_bytes);
+  comm_->chargeCopy(total);
+  if (check::Checker* ck = comm_->world().checker()) {
+    comm_->proc().atomic([&] {
+      ck->onSegmentTransfer(f.name, g, me_, "delegate::Server::servePut");
+      ck->noteDirty(f.name, g);
+    });
+  }
+  freeFrame(p.frame);
+  --data_queued_;
+  reply(p.h.client, p.h.seq, ReplyKind::kPutDone);
+}
+
+void Server::loadSegment(FileState& f, SegmentId g, SegBuf& sb) {
+  const Bytes seg_size = s_->config().segment_size;
+  const Offset base = g * seg_size;
+  const Bytes fsize = client_.size(f.fsfile);
+  const Bytes n = std::min<Bytes>(seg_size, std::max<Bytes>(0, fsize - base));
+  if (n > 0) {
+    std::vector<std::byte> scratch(static_cast<std::size_t>(n));
+    client_.pread(f.fsfile, base, scratch.data(), n);
+    if (sb.extents.empty()) {
+      std::memcpy(sb.data.data(), scratch.data(),
+                  static_cast<std::size_t>(n));
+    } else {
+      // Dirty bytes win: copy the FS image only outside buffered extents.
+      const std::vector<Extent> dirty = mpi::normalizeOverlapping(sb.extents);
+      Offset at = 0;
+      for (const Extent& d : dirty) {
+        const Offset stop = std::min<Offset>(d.begin, n);
+        if (at < stop) {
+          std::memcpy(sb.data.data() + at, scratch.data() + at,
+                      static_cast<std::size_t>(stop - at));
+        }
+        at = std::max<Offset>(at, d.end);
+      }
+      if (at < n) {
+        std::memcpy(sb.data.data() + at, scratch.data() + at,
+                    static_cast<std::size_t>(n - at));
+      }
+    }
+  }
+  sb.loaded = true;
+}
+
+void Server::serveGet(Pending& p) {
+  crashPoint(CrashPoint::kAtCollective);
+  FileState& f = fileFor(p.h.file_key);
+  TCIO_CHECK(!p.extents.empty());
+  const SegmentId g = p.extents.front().seg;
+  SegBuf& sb = segBuf(f, g);
+  if (!sb.loaded) loadSegment(f, g, sb);
+  std::byte* dst = frameData(p.frame);
+  Bytes total = 0;
+  for (const WireExtent& e : p.extents) {
+    TCIO_CHECK_MSG(e.seg == g, "one get must address a single segment");
+    const Bytes len = e.end - e.begin;
+    std::memcpy(dst + total, sb.data.data() + e.begin,
+                static_cast<std::size_t>(len));
+    total += len;
+  }
+  TCIO_CHECK(total == p.h.payload_bytes);
+  comm_->chargeCopy(total);
+  --data_queued_;  // queue slot freed; the frame is held until kGetAck
+  reply(p.h.client, p.h.seq, ReplyKind::kGetData, total);
+}
+
+void Server::serveClose(Pending& p) {
+  FileState& f = fileFor(p.h.file_key);
+  ++f.closes;
+  f.closers.push_back({p.h.client, p.h.seq});
+  if (f.closes < f.opens) return;  // reply deferred until the drain
+  drainAndClose(f);
+  const Bytes local_max = [&] {
+    Bytes m = 0;
+    for (const auto& [g, sb] : f.segs) {
+      if (sb.extents.empty()) continue;
+      const std::vector<Extent> merged = mpi::normalizeOverlapping(sb.extents);
+      m = std::max<Bytes>(m, g * s_->config().segment_size +
+                                 merged.back().end);
+    }
+    return m;
+  }();
+  for (const auto& [client, seq] : f.closers) {
+    reply(client, seq, ReplyKind::kCloseDone, local_max);
+  }
+  f.closers.clear();
+}
+
+void Server::drainAndClose(FileState& f) {
+  check::Checker* ck = comm_->world().checker();
+  Bytes local_max = 0;
+  for (auto& [g, sb] : f.segs) {
+    if (sb.extents.empty()) continue;
+    const std::vector<Extent> merged = mpi::normalizeOverlapping(sb.extents);
+    const Offset base = g * s_->config().segment_size;
+    for (const Extent& run : merged) {
+      crashPoint(CrashPoint::kMidClose);
+      client_.pwrite(f.fsfile, base + run.begin, sb.data.data() + run.begin,
+                     run.size());
+      ++stats_.batches;
+    }
+    stats_.batched_extents += sb.raw_extents;
+    local_max = std::max<Bytes>(local_max, base + merged.back().end);
+    if (ck != nullptr) {
+      comm_->proc().atomic(
+          [&] { ck->onDrain(f.name, g, me_, "delegate::Server::drain"); });
+    }
+  }
+  if (f.journal != nullptr) f.journal->commit();
+  client_.close(f.fsfile);
+  f.drained = true;
+  if (ck != nullptr) {
+    comm_->proc().atomic([&] { ck->onFileClosed(f.name, local_max, me_); });
+  }
+}
+
+void Server::serveAdopt(Pending& p) {
+  for (const WireExtent& e : p.extents) {
+    const int dead = static_cast<int>(e.seg);
+    if (dead == me_) die();  // peers agreed I'm dead: self-fence
+    if (s_->isDead(dead)) continue;
+    s_->markDead(dead);
+    ++stats_.delegates_crashed;
+    if (s_->adopterOf(dead) == me_) adoptShard(dead);
+  }
+  reply(p.h.client, p.h.seq, ReplyKind::kAdoptDone);
+}
+
+void Server::adoptShard(int dead) {
+  ++stats_.shards_adopted;
+  check::Checker* ck = comm_->world().checker();
+  for (auto& [key, f] : files_) {
+    if (f.name.empty()) continue;
+    if (ck != nullptr) {
+      comm_->proc().atomic([&] { ck->noteDeath(f.name, dead); });
+    }
+    const core::Journal::Parsed parsed =
+        core::Journal::readAndParse(client_, core::journalPath(f.name, dead));
+    stats_.journal_records_replayed +=
+        static_cast<std::int64_t>(parsed.records.size());
+    if (parsed.records.empty()) continue;
+    if (!f.drained) {
+      // Replay into the shard buffers; the coming drain writes them out.
+      for (const core::Journal::Record& r : parsed.records) {
+        SegBuf& sb = segBuf(f, r.seg);
+        std::memcpy(sb.data.data() + r.disp, r.payload.data(),
+                    r.payload.size());
+        sb.extents.push_back(
+            {r.disp, r.disp + static_cast<Offset>(r.payload.size())});
+        ++sb.raw_extents;
+        if (ck != nullptr) {
+          comm_->proc().atomic([&] {
+            ck->noteRemap(f.name, r.seg, me_);
+            ck->noteDirty(f.name, r.seg);
+          });
+        }
+      }
+    } else {
+      // The file already drained here: write the dead shard's journaled
+      // bytes straight to the file (merged runs, like a drain would).
+      fs::FsFile ff = client_.open(f.name, fs::kWrite);
+      std::map<SegmentId, std::pair<std::vector<std::byte>,
+                                    std::vector<Extent>>> segs;
+      for (const core::Journal::Record& r : parsed.records) {
+        auto& [data, exts] = segs[r.seg];
+        if (data.empty()) {
+          data.assign(static_cast<std::size_t>(s_->config().segment_size),
+                      std::byte{0});
+        }
+        std::memcpy(data.data() + r.disp, r.payload.data(),
+                    r.payload.size());
+        exts.push_back({r.disp, r.disp + static_cast<Offset>(
+                                             r.payload.size())});
+      }
+      for (const auto& [g, rec] : segs) {
+        const Offset base = g * s_->config().segment_size;
+        for (const Extent& run : mpi::normalizeOverlapping(rec.second)) {
+          client_.pwrite(ff, base + run.begin, rec.first.data() + run.begin,
+                         run.size());
+          ++stats_.batches;
+        }
+        if (ck != nullptr) {
+          comm_->proc().atomic([&] {
+            ck->noteRemap(f.name, g, me_);
+            ck->noteDirty(f.name, g);
+            ck->onDrain(f.name, g, me_, "delegate::Server::adopt");
+          });
+        }
+      }
+      client_.close(ff);
+    }
+  }
+}
+
+void Server::serveShutdown(Pending& p) {
+  stats_.fs_transient_faults = client_.retryStats().transient_faults;
+  stats_.fs_retries = client_.retryStats().retries;
+  std::vector<std::byte> msg(sizeof(ReplyMsg) +
+                             sizeof(core::TcioDelegateStats));
+  ReplyMsg r;
+  r.kind = ReplyKind::kShutdownDone;
+  r.seq = p.h.seq;
+  std::memcpy(msg.data(), &r, sizeof(r));
+  std::memcpy(msg.data() + sizeof(r), &stats_, sizeof(stats_));
+  comm_->send(msg.data(), static_cast<Bytes>(msg.size()), p.h.client,
+              kRepTag);
+  shutdown_ = true;
+}
+
+std::byte* Server::frameData(std::int64_t frame) {
+  TCIO_CHECK(frame >= 0 && frame < s_->queueCapacity());
+  return s_->window().localData() + frame * s_->frameBytes();
+}
+
+void Server::freeFrame(std::int64_t frame) {
+  TCIO_CHECK(frame >= 0);
+  free_frames_.push_back(frame);
+}
+
+void Server::crashPoint(CrashPoint point) {
+  if (crash_plan_ != nullptr && crash_plan_->fires(point)) die();
+}
+
+void Server::die() {
+  throw RankCrashedError("delegate " + std::to_string(me_) +
+                             " hit its scheduled fail-stop crash",
+                         me_);
+}
+
+}  // namespace tcio::delegate

@@ -1,0 +1,131 @@
+// The delegate request-queue server core (DESIGN.md §10).
+//
+// One Server runs on each delegate rank of a Session. The loop is a classic
+// asynchronous request-queue server:
+//
+//   * arrivals — descriptor messages are drained from the network (a
+//     blocking receive only when there is nothing serviceable, nonblocking
+//     probes otherwise) and pass *admission control*: a data request is
+//     admitted only while the total queued count is below the watermark and
+//     a staging frame is free; otherwise the client gets an immediate kBusy
+//     (DelegateBusyError) and retries with simulated-time backoff. Control
+//     requests (open/flush/close/adopt/shutdown) bypass admission — the
+//     watermark's headroom exists exactly so control traffic cannot be
+//     starved by a put storm.
+//   * service — queued requests are served with per-client round-robin
+//     fairness: one request per client per sweep, so a hot client cannot
+//     monopolize the delegate.
+//   * drain — the last close of a file writes the shard out with OST
+//     submission batching: adjacent extents of each segment are coalesced
+//     (mpi::normalizeOverlapping) into one pwrite per maximal run.
+//
+// Crash tolerance reuses the TCIO machinery: each put is journaled
+// (tcio/journal WAL) *before* it is acknowledged, so a delegate death loses
+// no acknowledged byte — survivors adopt the orphaned shard and replay the
+// journal, while clients resubmit whatever was never acknowledged.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/types.h"
+#include "delegate/protocol.h"
+#include "delegate/session.h"
+#include "fs/client.h"
+#include "tcio/journal.h"
+
+namespace tcio::delegate {
+
+class Server {
+ public:
+  explicit Server(Session& session);
+
+  /// Serves until the shutdown descriptor (or a scheduled fail-stop crash,
+  /// which returns silently — the rank just goes quiet).
+  void run();
+
+  const core::TcioDelegateStats& stats() const { return stats_; }
+
+ private:
+  /// One admitted (or control) request waiting for service.
+  struct Pending {
+    RequestHeader h;
+    std::vector<WireExtent> extents;
+    std::string name;        // kOpen only
+    std::int64_t frame = -1; // staging frame held by this request (-1 none)
+    bool ready = true;       // kPut flips true when kPutData arrives
+  };
+
+  /// Per-segment shard buffer (the delegate-owned slice of level 2).
+  struct SegBuf {
+    std::vector<std::byte> data;
+    std::vector<Extent> extents;   // raw dirty extents, merged at drain
+    std::int64_t raw_extents = 0;  // pre-merge count (batching stats)
+    bool loaded = false;           // clean bytes faulted in from the FS
+  };
+
+  struct FileState {
+    std::string name;
+    fs::FsFile fsfile;
+    std::unique_ptr<core::Journal> journal;
+    std::map<SegmentId, SegBuf> segs;
+    std::int64_t opens = 0;
+    std::int64_t closes = 0;
+    /// (client, seq) pairs whose kCloseDone is deferred until the drain.
+    std::vector<std::pair<int, std::int64_t>> closers;
+    bool drained = false;
+  };
+
+  // Arrival side.
+  void drainArrivals(bool block);
+  void handleArrival(const std::byte* buf, Bytes received);
+  void admitOrReject(Pending p);
+  void reply(int client, std::int64_t seq, ReplyKind kind,
+             std::int64_t value = 0);
+
+  // Service side.
+  bool hasServiceable() const;
+  void serviceOne();
+  void dispatch(Pending& p);
+  void serveOpen(Pending& p);
+  void servePut(Pending& p);
+  void serveGet(Pending& p);
+  void serveClose(Pending& p);
+  void serveAdopt(Pending& p);
+  void serveShutdown(Pending& p);
+  void drainAndClose(FileState& f);
+  void adoptShard(int dead);
+
+  FileState& fileFor(std::uint64_t key);
+  SegBuf& segBuf(FileState& f, SegmentId g);
+  /// Faults the FS contents of segment `g` into `sb` (dirty bytes win).
+  void loadSegment(FileState& f, SegmentId g, SegBuf& sb);
+  std::byte* frameData(std::int64_t frame);
+  void freeFrame(std::int64_t frame);
+  [[noreturn]] void die();
+  void crashPoint(CrashPoint point);
+  /// Lazily registers the takeover remap for a segment this delegate serves
+  /// but does not naturally own (checker integration).
+  void noteAdoptedSegment(FileState& f, SegmentId g);
+
+  Session* s_;
+  mpi::Comm* comm_;
+  fs::FsClient client_;
+  std::unique_ptr<CrashPlan> crash_plan_;
+  int me_;  // delegate index == session rank
+
+  std::map<std::uint64_t, FileState> files_;
+  std::map<int, std::deque<Pending>> queues_;
+  std::int64_t data_queued_ = 0;
+  std::vector<std::int64_t> free_frames_;
+  int rr_next_ = 0;  // round-robin cursor (client rank)
+  bool shutdown_ = false;
+  core::TcioDelegateStats stats_;
+};
+
+}  // namespace tcio::delegate

@@ -1,0 +1,115 @@
+// I/O delegate session: carves the first D ranks of a communicator out as
+// asynchronous I/O servers (DESIGN.md §10).
+//
+// With `TcioConfig::delegate_ranks = D` (or TCIO_DELEGATES=D in the
+// environment), session ranks 0..D-1 run the request-queue server core
+// (server.h) and *exclusively* own the level-2 segment map — segment g is
+// served by delegate g % D, the same round-robin the paper's eq. (1) uses
+// over ranks, so the crash-takeover remap logic transfers unchanged. The
+// remaining P−D client ranks never touch fs::FsClient: they submit
+// open/put/get/flush/close descriptors into a bounded per-delegate request
+// queue and move payload through the delegate's RMA staging window
+// (protocol.h). At 10k+ clients this turns the file system's client
+// population from P into D while the queue's admission control (watermark ->
+// DelegateBusyError -> client backoff) bounds each delegate's memory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "fs/filesystem.h"
+#include "mpi/comm.h"
+#include "mpi/rma.h"
+#include "tcio/config.h"
+#include "tcio/file.h"
+
+namespace tcio::delegate {
+
+class Session {
+ public:
+  /// Delegate count a config resolves to on a `comm_size`-rank session:
+  /// `cfg.delegate_ranks` when positive, else the TCIO_DELEGATES environment
+  /// variable, clamped to [0, min(64, comm_size - 1)] (the dead-set bitmap
+  /// is one word, and at least one client must remain). A negative config
+  /// value disables delegates even when the environment sets them.
+  static int effectiveDelegates(const core::TcioConfig& cfg, int comm_size);
+
+  /// Collective over `comm`: splits roles and creates the staging window
+  /// (queue_capacity frames on delegates, nothing on clients). Every rank
+  /// must construct the Session with an identical config.
+  Session(mpi::Comm& comm, fs::Filesystem& fsys, core::TcioConfig cfg);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool isDelegate() const { return comm_->rank() < num_delegates_; }
+  int numDelegates() const { return num_delegates_; }
+  int numClients() const { return comm_->size() - num_delegates_; }
+
+  /// The session (full) communicator — descriptor/reply traffic runs here.
+  mpi::Comm& comm() { return *comm_; }
+  /// This rank's role communicator: the client communicator on clients (all
+  /// DFile collectives run over it), the delegate communicator on delegates.
+  mpi::Comm& roleComm() { return *role_comm_; }
+  mpi::Comm& clientComm();
+
+  fs::Filesystem& filesystem() { return *fsys_; }
+  const core::TcioConfig& config() const { return cfg_; }
+  mpi::Window& window() { return *window_; }
+  Bytes frameBytes() const { return frame_bytes_; }
+  std::int64_t queueCapacity() const { return cfg_.delegate.queue_capacity; }
+  std::int64_t queueWatermark() const {
+    return cfg_.delegate.queue_watermark > 0 ? cfg_.delegate.queue_watermark
+                                             : cfg_.delegate.queue_capacity;
+  }
+  bool crashEnabled() const { return cfg_.crash.enabled; }
+
+  // -- Shard routing (agreed dead set included) -------------------------------
+
+  /// Natural shard owner of segment `g` (ignores deaths): g % D.
+  int naturalOwnerOf(SegmentId g) const {
+    return static_cast<int>(g % num_delegates_);
+  }
+  /// Current owner: the first live delegate scanning cyclically from the
+  /// natural owner. Deterministic given the agreed dead set, so clients and
+  /// delegates route identically without exchanging a map.
+  int ownerOfSegment(SegmentId g) const;
+  /// Adopter of dead delegate `d`: the next live delegate after it.
+  int adopterOf(int d) const;
+
+  bool isDead(int d) const { return dead_[static_cast<std::size_t>(d)]; }
+  void markDead(int d) { dead_[static_cast<std::size_t>(d)] = true; }
+  std::vector<int> liveDelegates() const;
+
+  // -- Role bodies ------------------------------------------------------------
+
+  /// Delegate ranks: run the request-queue server until the shutdown
+  /// descriptor arrives. Returns normally after shutdown; a scheduled
+  /// fail-stop crash also returns (the rank goes silent — fail-stop).
+  void serve();
+
+  /// Client ranks (collective over clientComm): barrier, shut the live
+  /// delegates down, collect and merge their stats, and fold in the
+  /// client-side counters. Safe to call once; returns the merged stats.
+  const core::TcioDelegateStats& finish();
+  const core::TcioDelegateStats& stats() const { return stats_; }
+
+  // -- Client-side counters (bumped by Channel/DFile) -------------------------
+  std::int64_t client_busy_retries = 0;
+  std::int64_t client_deferred_resubmissions = 0;
+
+ private:
+  mpi::Comm* comm_;
+  fs::Filesystem* fsys_;
+  core::TcioConfig cfg_;
+  int num_delegates_ = 0;
+  Bytes frame_bytes_ = 0;
+  std::unique_ptr<mpi::Comm> role_comm_;
+  std::unique_ptr<mpi::Window> window_;
+  std::vector<bool> dead_;
+  bool finished_ = false;
+  core::TcioDelegateStats stats_;
+};
+
+}  // namespace tcio::delegate

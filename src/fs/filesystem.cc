@@ -32,7 +32,7 @@ const Filesystem::Inode& Filesystem::inodeAt(int inode) const {
 Filesystem::OpenResult Filesystem::open(int client, SimTime t,
                                         const std::string& name,
                                         unsigned flags, int stripe_count) {
-  (void)client;
+  ++ops_by_client_[client];
   ++stats_.opens;
   maybeMdsFault(FaultPlan::MdsVerb::kOpen, name);
   const auto it = names_.find(name);
@@ -96,6 +96,7 @@ SimTime Filesystem::write(int client, SimTime t, int inode, Offset off,
   Inode& ino = inodeAt(inode);
   const Bytes n = static_cast<Bytes>(data.size());
   if (n == 0) return t;
+  ++ops_by_client_[client];
   if (plan_ != nullptr && plan_->consumeOneShotWrite()) {
     throw TransientFsError("injected write fault on " + ino.name);
   }
@@ -129,6 +130,7 @@ SimTime Filesystem::read(int client, SimTime t, int inode, Offset off,
   Inode& ino = inodeAt(inode);
   const Bytes n = static_cast<Bytes>(out.size());
   if (n == 0) return t;
+  ++ops_by_client_[client];
   SimTime done = maybeRebalance(t, ino);
   forEachOstRun(ino, off, n, [&](int ost, Offset roff, Bytes rlen) {
     ++stats_.read_requests;
@@ -159,7 +161,7 @@ SimTime Filesystem::read(int client, SimTime t, int inode, Offset off,
 }
 
 SimTime Filesystem::close(int client, SimTime t, int inode) {
-  (void)client;
+  ++ops_by_client_[client];
   Inode& ino = inodeAt(inode);  // validity check
   maybeMdsFault(FaultPlan::MdsVerb::kClose, ino.name);
   return mds_.serveDuration(t + cfg_.rpc_latency, cfg_.mds_open / 4) +
@@ -171,6 +173,7 @@ SimTime Filesystem::journalWrite(int client, SimTime t, int inode, Offset off,
   Inode& ino = inodeAt(inode);
   const Bytes n = static_cast<Bytes>(data.size());
   if (n == 0) return t;
+  ++ops_by_client_[client];
   ++stats_.journal_writes;
   stats_.journal_bytes += n;
   const SimTime end =

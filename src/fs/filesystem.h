@@ -112,6 +112,13 @@ class Filesystem {
   /// Lock revocations of one file (ping-pong metric).
   std::int64_t revocations(const std::string& name) const;
 
+  /// Costed FS calls (open/write/read/close/journal) per calling rank.
+  /// Evidence for delegate mode: the key set is exactly the ranks that ever
+  /// touched the file system. Verification helpers (peek/exists) don't count.
+  const std::map<int, std::int64_t>& opsByClient() const {
+    return ops_by_client_;
+  }
+
   // -- Fault injection ------------------------------------------------------
 
   /// Installs a seeded fault plan (see common/fault.h). First installation
@@ -198,6 +205,7 @@ class Filesystem {
   int next_start_ost_ = 0;
   int next_remap_ost_ = 0;
   FsStats stats_;
+  std::map<int, std::int64_t> ops_by_client_;
   std::unique_ptr<FaultPlan> plan_;
   sim::Trace* trace_ = nullptr;
 };

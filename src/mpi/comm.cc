@@ -179,14 +179,17 @@ bool Comm::recvUntil(void* buf, Bytes capacity, Rank src, int tag,
   return false;
 }
 
-RecvStatus Comm::wait(Request& req) {
+RecvStatus Comm::wait(Request& req) { return waitInternal(req, true); }
+
+RecvStatus Comm::waitInternal(Request& req, bool track_wait) {
   TCIO_CHECK_MSG(req.valid(), "wait on an empty Request");
   detail::ReqState& st = *req.state_;
   if (st.recv != nullptr) {
     // Wait on the underlying receive event (the request-level event is only
     // completed for immediate matches).
     check::Checker* ck = world_->checker();
-    const bool track = ck != nullptr && st.recv->want_src != kAnySource;
+    const bool track =
+        track_wait && ck != nullptr && st.recv->want_src != kAnySource;
     if (track) {
       // Sends are eager/buffered, so a blocked receive means the peer never
       // sent: a cycle of blocked receives is a true deadlock.
@@ -215,8 +218,33 @@ RecvStatus Comm::wait(Request& req) {
 }
 
 void Comm::waitAll(std::span<Request> reqs) {
+  // Model the whole set as ONE AND-wait in the deadlock checker: the rank is
+  // blocked only while some leg is pending, and only pending legs are
+  // wait-for edges. Registering each wait() separately would claim we block
+  // on legs whose message already arrived and false-cycle e.g. a client
+  // blocked on a delegate reply plus an already-satisfied collective leg.
+  check::Checker* ck = world_->checker();
+  bool tracked = false;
+  if (ck != nullptr) {
+    std::vector<check::Checker::WaitEdge> edges;
+    for (Request& r : reqs) {
+      if (!r.valid() || r.state_->recv == nullptr) continue;
+      const auto& pr = r.state_->recv;
+      if (pr->want_src == kAnySource) continue;
+      edges.push_back({worldRank(pr->want_src), &pr->ev, pr});
+    }
+    if (!edges.empty()) {
+      tracked = true;
+      proc_->atomic([&] {
+        ck->beginWaitAll(proc_->rank(), std::move(edges), "MPI_Waitall");
+      });
+    }
+  }
   for (Request& r : reqs) {
-    if (r.valid()) wait(r);
+    if (r.valid()) waitInternal(r, false);
+  }
+  if (tracked) {
+    proc_->atomic([&] { ck->endWait(proc_->rank()); });
   }
 }
 

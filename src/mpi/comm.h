@@ -198,6 +198,10 @@ class Comm {
                    const std::function<void(void*, const void*)>& combine,
                    Rank root);
 
+  /// wait() body; `track` controls per-request deadlock-checker registration
+  /// (waitAll registers one AND-wait for the whole set instead).
+  RecvStatus waitInternal(Request& req, bool track);
+
   /// Sub-communicator constructor (used by split).
   Comm(World& world, sim::Proc& proc, std::vector<Rank> group, Rank rank,
        int context)

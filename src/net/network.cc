@@ -26,10 +26,12 @@ Network::Network(const NetworkConfig& cfg)
   nic_out_.reserve(static_cast<std::size_t>(num_nodes_));
   nic_in_.reserve(static_cast<std::size_t>(num_nodes_));
   membus_.reserve(static_cast<std::size_t>(num_nodes_));
+  const SimTime per_msg =
+      cfg_.per_message_overhead + cfg_.per_message_overhead_unscaled;
   for (int i = 0; i < num_nodes_; ++i) {
-    nic_out_.emplace_back(cfg_.nic_bandwidth, cfg_.per_message_overhead);
-    nic_in_.emplace_back(cfg_.nic_bandwidth, cfg_.per_message_overhead);
-    membus_.emplace_back(cfg_.membus_bandwidth, cfg_.per_message_overhead);
+    nic_out_.emplace_back(cfg_.nic_bandwidth, per_msg);
+    nic_in_.emplace_back(cfg_.nic_bandwidth, per_msg);
+    membus_.emplace_back(cfg_.membus_bandwidth, per_msg);
   }
   fabric_.setCongestion(cfg_.fabric_congestion_gamma,
                         cfg_.fabric_congestion_tau);

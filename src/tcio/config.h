@@ -50,6 +50,41 @@ struct TcioConfig {
   /// (one full segment per node-local rank per round, plus header slack).
   Bytes node_agg_slot_bytes = 0;
 
+  /// Rotate node-aggregation leadership round-robin across each node's ranks
+  /// at every exchange, so one rank's NIC/membus does not carry all staging
+  /// traffic for the whole job. Costs a staging window on every rank instead
+  /// of only on leaders; data and determinism are unaffected.
+  bool node_agg_rotate_leaders = true;
+
+  // -- I/O delegate ranks (src/delegate/, DESIGN.md §10) ---------------------
+
+  /// When D > 0, the first D ranks of a delegate::Session become asynchronous
+  /// I/O servers that exclusively own the level-2 segment map (round-robin
+  /// shard: segment g is served by delegate g % D); the remaining P−D client
+  /// ranks never touch FsClient. 0 disables; the environment variable
+  /// TCIO_DELEGATES overrides a zero value. Negative disables explicitly,
+  /// beating the environment (the knob ablation baselines pin).
+  int delegate_ranks = 0;
+
+  /// Tuning knobs for the delegate request-queue server core.
+  struct DelegateConfig {
+    /// Bounded per-delegate request queue: total queued requests across all
+    /// clients at which admission stops (DelegateBusyError to the client).
+    std::int64_t queue_capacity = 64;
+    /// Admission watermark; 0 = use queue_capacity. Rejections begin here so
+    /// the queue keeps headroom for control traffic under bursty arrival.
+    std::int64_t queue_watermark = 0;
+    /// RMA staging-frame size per in-flight data request. 0 = auto (one
+    /// level-2 segment). The delegate's staging window holds queue_capacity
+    /// frames; a request gets its frame at admission, so rejected requests
+    /// never move payload.
+    Bytes frame_bytes = 0;
+    /// Maximum extent descriptors per wire request; clients split larger
+    /// submissions.
+    std::int64_t max_wire_extents = 1024;
+  };
+  DelegateConfig delegate;
+
   // -- Fault injection and recovery (see common/fault.h, DESIGN.md) ----------
 
   /// Cross-layer fault plan. When `faults.enabled`, the collective open

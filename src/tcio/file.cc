@@ -112,7 +112,8 @@ File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
       slot = static_cast<Bytes>(node_map_->maxNodeSize()) * cfg_.segment_size +
              4096;
     }
-    node_agg_ = std::make_unique<topo::NodeAggregator>(*node_map_, slot);
+    node_agg_ = std::make_unique<topo::NodeAggregator>(
+        *node_map_, slot, cfg_.node_agg_rotate_leaders);
   }
   comm_->memory().allocate(cfg_.segment_size, "TCIO level-1 buffer");
   if (check::Checker* ck = comm_->world().checker()) {
@@ -859,7 +860,7 @@ void File::nodeExchangeStagedWrites() {
   // typed error on every rank instead of a wedged job.
   mpi::CapturedError err;
   try {
-    if (node_map_->isLeader()) {
+    if (node_agg_->isActiveLeader()) {
       std::map<Rank, std::vector<mpi::Window::PutBlock>> by_owner;
       std::map<Rank, std::set<std::int64_t>> flagged;
       std::set<SegmentId> applied_segs;
@@ -944,7 +945,7 @@ void File::nodeAggregatedGather(std::vector<PendingRead>& reads) {
   // Serving leaders answer from node-local owners' windows. Reply streams
   // are framed per requester: [i32 requester][u64 len][bytes].
   std::vector<std::vector<std::byte>> replies(sn);
-  if (node_map_->isLeader()) {
+  if (node_agg_->isActiveLeader()) {
     // Pass 1: lay out reply streams (headers + payload space) so the get
     // blocks can point into stable storage.
     struct Slice {
@@ -1011,7 +1012,7 @@ void File::nodeAggregatedGather(std::vector<PendingRead>& reads) {
   const std::vector<Rank>& members =
       node_map_->ranksOnNode(node_map_->myNode());
   std::vector<std::vector<std::byte>> per_rank(members.size());
-  if (node_map_->isLeader()) {
+  if (node_agg_->isActiveLeader()) {
     std::map<Rank, std::size_t> node_rank_of;
     for (std::size_t q = 0; q < members.size(); ++q) {
       node_rank_of[members[q]] = q;
@@ -1465,7 +1466,8 @@ void File::handleDeaths(const std::vector<Rank>& dead_cur) {
           static_cast<Bytes>(node_map_->maxNodeSize()) * cfg_.segment_size +
           4096;
     }
-    node_agg_ = std::make_unique<topo::NodeAggregator>(*node_map_, slot_bytes);
+    node_agg_ = std::make_unique<topo::NodeAggregator>(
+        *node_map_, slot_bytes, cfg_.node_agg_rotate_leaders);
   }
   // 5) Replay: the new owner reconstructs each adopted segment from the
   //    journals. A dead rank's window memory is *never* read — a real

@@ -78,6 +78,45 @@ struct TcioDegradedStats {
   }
 };
 
+/// Per-delegate request-queue counters (src/delegate/; all zero unless the
+/// job runs a delegate::Session). POD on purpose: delegates ship this blob
+/// verbatim to the client leader at session teardown.
+struct TcioDelegateStats {
+  std::int64_t submissions = 0;      // requests admitted into the queue
+  std::int64_t rejections = 0;       // admissions refused (queue/frames full)
+  std::int64_t busy_retries = 0;     // client resubmits after DelegateBusy
+  std::int64_t queue_high_watermark = 0;  // max total queued requests seen
+  std::int64_t batches = 0;          // coalesced FS submissions at drain
+  std::int64_t batched_extents = 0;  // raw extents those batches absorbed
+  SimTime service_time = 0;          // virtual seconds spent servicing
+  std::int64_t fs_transient_faults = 0;  // injected FS faults absorbed
+  std::int64_t fs_retries = 0;           // FS retry attempts those cost
+  std::int64_t delegates_crashed = 0;    // dead delegates agreed by liveness
+  std::int64_t shards_adopted = 0;       // dead delegates whose shard moved here
+  std::int64_t journal_records_replayed = 0;  // WAL records replayed on adopt
+  std::int64_t deferred_resubmissions = 0;    // requests rerouted after a death
+
+  void merge(const TcioDelegateStats& o) {
+    submissions += o.submissions;
+    rejections += o.rejections;
+    busy_retries += o.busy_retries;
+    queue_high_watermark =
+        queue_high_watermark > o.queue_high_watermark ? queue_high_watermark
+                                                      : o.queue_high_watermark;
+    batches += o.batches;
+    batched_extents += o.batched_extents;
+    service_time += o.service_time;
+    fs_transient_faults += o.fs_transient_faults;
+    fs_retries += o.fs_retries;
+    delegates_crashed =
+        delegates_crashed > o.delegates_crashed ? delegates_crashed
+                                                : o.delegates_crashed;
+    shards_adopted += o.shards_adopted;
+    journal_records_replayed += o.journal_records_replayed;
+    deferred_resubmissions += o.deferred_resubmissions;
+  }
+};
+
 /// Runtime counters (also the evidence for the paper's Table III row on
 /// memory efficiency).
 struct TcioStats {
@@ -99,6 +138,8 @@ struct TcioStats {
   std::int64_t internode_messages_saved = 0;
   /// Fault-recovery accounting (all zero in healthy runs).
   TcioDegradedStats degraded;
+  /// Delegate request-queue accounting (all zero outside delegate sessions).
+  TcioDelegateStats delegate;
 };
 
 /// One rank's handle on a shared TCIO file. Open/flush/fetch/close are

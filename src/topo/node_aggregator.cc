@@ -32,11 +32,13 @@ T readValue(const std::byte* p) {
 
 }  // namespace
 
-NodeAggregator::NodeAggregator(NodeMap& map, Bytes slot_bytes)
-    : map_(&map), slot_bytes_(slot_bytes) {
+NodeAggregator::NodeAggregator(NodeMap& map, Bytes slot_bytes,
+                               bool rotate_leaders)
+    : map_(&map), slot_bytes_(slot_bytes), rotate_(rotate_leaders) {
   TCIO_CHECK_MSG(slot_bytes_ > kSlotHeader,
                  "node-aggregation staging slot must exceed its header");
-  const Bytes local = map_->isLeader()
+  // Under rotation any rank may lead a round, so every rank needs a window.
+  const Bytes local = (rotate_ || map_->isLeader())
                           ? static_cast<Bytes>(map_->numNodes()) * slot_bytes_
                           : 0;
   staging_ = std::make_unique<mpi::Window>(
@@ -66,19 +68,20 @@ std::vector<std::vector<std::byte>> NodeAggregator::gatherToLeader(
   const Bytes table_bytes = static_cast<Bytes>(sn * sizeof(Bytes));
   std::vector<Bytes> all_sizes(
       static_cast<std::size_t>(node.size()) * sn);
-  node.gather(my_sizes.data(), table_bytes, all_sizes.data(), /*root=*/0);
+  const Rank root = leaderNodeRank();
+  node.gather(my_sizes.data(), table_bytes, all_sizes.data(), root);
 
   // Payload: one concatenated membus message per non-leader rank.
   const int tag = node.nextCollectiveTag();
   std::vector<std::vector<std::byte>> streams(sn);
-  if (node.rank() != 0) {
+  if (node.rank() != root) {
     std::vector<std::byte> flat;
     flat.reserve(static_cast<std::size_t>(my_total));
     for (const auto& blob : per_node) {
       flat.insert(flat.end(), blob.begin(), blob.end());
     }
     if (my_total > 0) {
-      node.send(flat.data(), my_total, /*dst=*/0, tag);
+      node.send(flat.data(), my_total, root, tag);
     }
     return streams;  // non-leaders hold no outgoing streams
   }
@@ -91,7 +94,7 @@ std::vector<std::vector<std::byte>> NodeAggregator::gatherToLeader(
     Bytes total = 0;
     for (std::size_t d = 0; d < sn; ++d) total += sizes[d];
     const std::byte* cursor = nullptr;
-    if (q == 0) {
+    if (q == root) {
       cursor = nullptr;  // own blobs are read from per_node directly
     } else if (total > 0) {
       incoming.resize(static_cast<std::size_t>(total));
@@ -106,7 +109,7 @@ std::vector<std::vector<std::byte>> NodeAggregator::gatherToLeader(
       auto& stream = streams[d];
       appendValue<std::int32_t>(stream, src);
       appendValue<std::uint64_t>(stream, static_cast<std::uint64_t>(len));
-      if (q == 0) {
+      if (q == root) {
         appendRaw(stream, per_node[d].data(),
                   static_cast<std::size_t>(len));
       } else {
@@ -154,11 +157,14 @@ std::vector<std::vector<NodeAggregator::RankBlob>> NodeAggregator::exchange(
   const auto sn = static_cast<std::size_t>(N);
   const int me = map_->myNode();
   ++stats_.exchanges;
+  // Advance the leadership round in lockstep (exchange is collective), so
+  // every rank agrees on who leads each node before any traffic moves.
+  if (rotate_) ++round_;
 
   // Phase 1: funnel to the leader (membus traffic only).
   std::vector<std::vector<std::byte>> out = gatherToLeader(per_node);
   // Cross-rank coalescing happens here, before any byte pays the NIC.
-  if (rewrite && map_->isLeader()) {
+  if (rewrite && isActiveLeader()) {
     for (int d = 0; d < N; ++d) {
       auto& stream = out[static_cast<std::size_t>(d)];
       if (stream.empty()) continue;
@@ -170,7 +176,7 @@ std::vector<std::vector<NodeAggregator::RankBlob>> NodeAggregator::exchange(
   // slot's worth of each stream with a single RMA epoch per destination
   // node; slots are disjoint per source node, so shared locks suffice.
   std::vector<std::vector<std::byte>> in(sn);
-  if (map_->isLeader()) {
+  if (isActiveLeader()) {
     in[static_cast<std::size_t>(me)] =
         std::move(out[static_cast<std::size_t>(me)]);
     out[static_cast<std::size_t>(me)].clear();
@@ -186,7 +192,7 @@ std::vector<std::vector<NodeAggregator::RankBlob>> NodeAggregator::exchange(
   while (more) {
     ++stats_.rounds;
     try {
-      if (map_->isLeader() && !err.set()) {
+      if (isActiveLeader() && !err.set()) {
         for (int d = 0; d < N; ++d) {
           if (d == me) continue;
           const auto& stream = out[static_cast<std::size_t>(d)];
@@ -200,7 +206,7 @@ std::vector<std::vector<NodeAggregator::RankBlob>> NodeAggregator::exchange(
               {slot_base, &header, kSlotHeader},
               {slot_base + kSlotHeader,
                stream.data() + cursor[static_cast<std::size_t>(d)], chunk}};
-          const Rank target = map_->leaderOf(d);
+          const Rank target = activeLeaderOf(d);
           staging_->lock(mpi::LockType::kShared, target);
           staging_->putIndexed(target, blocks);
           staging_->unlock(target);
@@ -215,7 +221,7 @@ std::vector<std::vector<NodeAggregator::RankBlob>> NodeAggregator::exchange(
     comm.barrier();
     bool local_more = false;
     try {
-      if (map_->isLeader() && !err.set()) {
+      if (isActiveLeader() && !err.set()) {
         std::byte* local = staging_->localData();
         for (int s = 0; s < N; ++s) {
           if (s == me) continue;
@@ -255,7 +261,7 @@ std::vector<std::vector<NodeAggregator::RankBlob>> NodeAggregator::exchange(
     if (in[s].empty()) continue;
     if (rewrite) {
       result[s].push_back(
-          {map_->leaderOf(static_cast<int>(s)), std::move(in[s])});
+          {activeLeaderOf(static_cast<int>(s)), std::move(in[s])});
     } else {
       result[s] = parseFrames(in[s]);
     }
@@ -268,19 +274,23 @@ std::vector<std::byte> NodeAggregator::scatterToRanks(
   mpi::Comm& node = map_->nodeComm();
   const int Q = node.size();
   const int tag = node.nextCollectiveTag();
+  // Scatter from the round's active leader (the rank exchange() left the
+  // leader-held data on), not from a fixed node root.
+  const Rank root = leaderNodeRank();
   std::vector<Bytes> sizes(static_cast<std::size_t>(Q), 0);
   Bytes my_size = 0;
-  if (node.rank() == 0) {
+  if (node.rank() == root) {
     TCIO_CHECK(static_cast<int>(per_rank.size()) == Q);
     for (int q = 0; q < Q; ++q) {
       sizes[static_cast<std::size_t>(q)] =
           static_cast<Bytes>(per_rank[static_cast<std::size_t>(q)].size());
     }
   }
-  node.scatter(sizes.data(), sizeof(Bytes), &my_size, /*root=*/0);
-  if (node.rank() == 0) {
+  node.scatter(sizes.data(), sizeof(Bytes), &my_size, root);
+  if (node.rank() == root) {
     std::vector<mpi::Request> reqs;
-    for (int q = 1; q < Q; ++q) {
+    for (int q = 0; q < Q; ++q) {
+      if (q == root) continue;
       const auto& blob = per_rank[static_cast<std::size_t>(q)];
       if (blob.empty()) continue;
       reqs.push_back(node.isend(blob.data(),
@@ -288,11 +298,11 @@ std::vector<std::byte> NodeAggregator::scatterToRanks(
       stats_.intranode_bytes += static_cast<Bytes>(blob.size());
     }
     node.waitAll(reqs);
-    return std::move(per_rank[0]);
+    return std::move(per_rank[static_cast<std::size_t>(root)]);
   }
   std::vector<std::byte> mine(static_cast<std::size_t>(my_size));
   if (my_size > 0) {
-    node.recv(mine.data(), my_size, /*src=*/0, tag);
+    node.recv(mine.data(), my_size, root, tag);
   }
   return mine;
 }

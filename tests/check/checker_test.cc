@@ -231,6 +231,52 @@ TEST(CheckerDeadlockTest, RecvCycleReportedInsteadOfEngineTimeout) {
   }
 }
 
+TEST(CheckerDeadlockTest, WaitAllWithSatisfiablePartnerIsNotACycle) {
+  // Regression: waitAll is an AND-wait. Rank 0 blocks on BOTH an isend to 1
+  // and an irecv from 1 while rank 1 is still blocked receiving from 0 — a
+  // per-request model would draw 0 -> 1 and 1 -> 0 and report a cycle, but
+  // rank 0's in-flight isend satisfies rank 1, so the run must complete.
+  mpi::JobConfig jc;
+  jc.num_ranks = 2;
+  mpi::runJob(jc, [&](Comm& comm) {
+    int in = 0;
+    int out = comm.rank() + 41;
+    if (comm.rank() == 0) {
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(comm.isend(&out, sizeof(out), 1, /*tag=*/9));
+      reqs.push_back(comm.irecv(&in, sizeof(in), 1, /*tag=*/9));
+      comm.waitAll(reqs);
+      EXPECT_EQ(in, 42);
+    } else {
+      comm.recv(&in, sizeof(in), 0, /*tag=*/9);
+      EXPECT_EQ(in, 41);
+      comm.send(&out, sizeof(out), 0, /*tag=*/9);
+    }
+  });
+}
+
+TEST(CheckerDeadlockTest, WaitAllReceiveCycleStillCaught) {
+  // A genuine AND-wait deadlock: each rank's waitAll contains an irecv the
+  // other will never satisfy — the checker must name the cycle, not let the
+  // engine time out.
+  mpi::JobConfig jc;
+  jc.num_ranks = 2;
+  try {
+    mpi::runJob(jc, [&](Comm& comm) {
+      int x = 0;
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(comm.irecv(&x, sizeof(x), 1 - comm.rank(), /*tag=*/6));
+      comm.waitAll(reqs);
+    });
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string msg = e.what();
+    expectContains(msg, "wait-for cycle");
+    expectContains(msg, "rank 0");
+    expectContains(msg, "rank 1");
+  }
+}
+
 // -- TCIO segment ownership (checker unit level) ------------------------------
 
 TEST(CheckerOwnershipTest, TransferToNonOwnedSlotCaught) {

@@ -314,7 +314,9 @@ TEST_P(TcioCrashMatrixTest, SurvivorsCompleteMaskedIdenticalDeterministic) {
   // How many transients a given seed draws is a property of that seed; only
   // the default schedule is pinned to actually exercise the combined path.
   // (Swept seeds still verify convergence, masking, and determinism above.)
-  if (p.transient_eio && seed == 1) EXPECT_GT(a.stats_sum[kTransientIdx], 0);
+  if (p.transient_eio && seed == 1) {
+    EXPECT_GT(a.stats_sum[kTransientIdx], 0);
+  }
 
   // (c) seed-exact determinism: full fingerprint reproduces run-to-run.
   const RunResult b = runCrash(p, seed, /*crash=*/true);

@@ -1,6 +1,7 @@
 // NodeMap topology derivation and NodeAggregator leader-exchange tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -136,6 +137,87 @@ TEST(NodeAggregatorTest, ScatterToRanksDeliversPerRankBlobs) {
     }
     const std::vector<std::byte> mine = agg.scatterToRanks(std::move(per_rank));
     EXPECT_EQ(mine, payloadFor(comm.rank(), map.myNode(), 40));
+  });
+}
+
+TEST(NodeAggregatorTest, RotationMovesTheActiveLeaderEachExchange) {
+  runJob(cfg(6, 3), [](mpi::Comm& comm) {
+    NodeMap map(comm);
+    NodeAggregator agg(map, /*slot_bytes=*/4096, /*rotate_leaders=*/true);
+    ASSERT_TRUE(agg.rotatesLeaders());
+    std::vector<Rank> leaders_seen;
+    for (int round = 1; round <= 3; ++round) {
+      // The round counter advances at the start of each exchange, so the
+      // k-th exchange of node n is led by its (k % size)-th rank.
+      const Rank expect_leader =
+          map.ranksOnNode(map.myNode())[static_cast<std::size_t>(
+              round % map.nodeSize())];
+      leaders_seen.push_back(expect_leader);
+      std::vector<std::vector<std::byte>> per_node;
+      for (int d = 0; d < map.numNodes(); ++d) {
+        per_node.push_back(payloadFor(
+            comm.rank(), d,
+            32 + static_cast<std::size_t>(round) * 8 +
+                static_cast<std::size_t>(d)));
+      }
+      const auto frames = agg.exchange(per_node);
+      EXPECT_EQ(agg.round(), round);
+      EXPECT_EQ(agg.activeLeaderOf(map.myNode()), expect_leader);
+      EXPECT_EQ(agg.isActiveLeader(), comm.rank() == expect_leader);
+      if (comm.rank() != expect_leader) {
+        for (const auto& fr : frames) EXPECT_TRUE(fr.empty());
+        continue;
+      }
+      // The rotated leader receives every rank's frame, data intact.
+      const int d = map.myNode();
+      for (int s = 0; s < map.numNodes(); ++s) {
+        const std::vector<Rank>& srcs = map.ranksOnNode(s);
+        ASSERT_EQ(frames[static_cast<std::size_t>(s)].size(), srcs.size());
+        for (std::size_t q = 0; q < srcs.size(); ++q) {
+          EXPECT_EQ(frames[static_cast<std::size_t>(s)][q].data,
+                    payloadFor(srcs[q], d,
+                               32 + static_cast<std::size_t>(round) * 8 +
+                                   static_cast<std::size_t>(d)));
+        }
+      }
+    }
+    // The NIC/membus hot spot actually moved: distinct leaders across rounds.
+    std::sort(leaders_seen.begin(), leaders_seen.end());
+    leaders_seen.erase(
+        std::unique(leaders_seen.begin(), leaders_seen.end()),
+        leaders_seen.end());
+    EXPECT_GE(leaders_seen.size(), 2u);
+  });
+}
+
+TEST(NodeAggregatorTest, ScatterFollowsTheRotatedLeader) {
+  // Regression: scatterToRanks must scatter from the round's ACTIVE leader
+  // (where exchange() left the data), not from the node's static rank 0.
+  runJob(cfg(6, 3), [](mpi::Comm& comm) {
+    NodeMap map(comm);
+    NodeAggregator agg(map, /*slot_bytes=*/1024, /*rotate_leaders=*/true);
+    for (int round = 0; round < 3; ++round) {
+      // Advance the rotation with a real exchange first.
+      std::vector<std::vector<std::byte>> per_node(
+          static_cast<std::size_t>(map.numNodes()));
+      per_node[static_cast<std::size_t>(map.myNode())] =
+          payloadFor(comm.rank(), map.myNode(), 24);
+      agg.exchange(per_node);
+      std::vector<std::vector<std::byte>> per_rank;
+      if (agg.isActiveLeader()) {
+        for (int q = 0; q < map.nodeSize(); ++q) {
+          const Rank target = map.ranksOnNode(map.myNode())[
+              static_cast<std::size_t>(q)];
+          per_rank.push_back(
+              payloadFor(target, round, 16 + static_cast<std::size_t>(q)));
+        }
+      }
+      const std::vector<std::byte> mine =
+          agg.scatterToRanks(std::move(per_rank));
+      EXPECT_EQ(mine,
+                payloadFor(comm.rank(), round,
+                           16 + static_cast<std::size_t>(map.nodeRank())));
+    }
   });
 }
 

@@ -80,6 +80,7 @@ struct Sample {
 Sample measureFig5(int W, int D, bool crash) {
   fs::Filesystem fsys(paperFs());
   mpi::JobConfig job = paperJob(W + D, /*seed=*/3);
+  applyUnscaledMessageCost(job);  // all legs (incl. D=0): same cost model
   const std::string name = "fig5_delegates.dat";
   const Bytes file_size = static_cast<Bytes>(W) * kBlocksPerClient * kBlock;
   Sample s;
@@ -167,7 +168,9 @@ ChurnSample measureChurn(int P, int D, std::int64_t queue_capacity) {
   cfg.tcio.delegate_ranks = D > 0 ? D : -1;
   cfg.tcio.delegate.queue_capacity = queue_capacity;
   ChurnSample s;
-  const auto res = mpi::runJob(paperJob(P, /*seed=*/5), [&](mpi::Comm& comm) {
+  mpi::JobConfig job = paperJob(P, /*seed=*/5);
+  applyUnscaledMessageCost(job);
+  const auto res = mpi::runJob(job, [&](mpi::Comm& comm) {
     const workload::ChurnResult r = workload::runChurn(comm, fsys, cfg);
     if (comm.rank() == comm.size() - 1) s.res = r;
   });

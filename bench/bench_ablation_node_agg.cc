@@ -28,6 +28,7 @@ struct Sample {
 Sample measure(int P, int ranks_per_node, bool node_agg) {
   fs::Filesystem fsys(paperFs());
   mpi::JobConfig job = paperJob(P);
+  applyUnscaledMessageCost(job);  // both legs: message-dominated ablation
   job.net.ranks_per_node = ranks_per_node;
   Sample s;
   const auto res = mpi::runJob(job, [&](mpi::Comm& comm) {

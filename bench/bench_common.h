@@ -62,15 +62,7 @@ inline mpi::JobConfig paperJob(int P, std::uint64_t seed = 1) {
   c.net.nic_bandwidth = 5.0e9 / kScale;
   c.net.membus_bandwidth = 20.0e9 / kScale;
   c.mpi.memcpy_bandwidth = 6.0e9 / kScale;
-  // Message counts stay at paper levels while bytes shrink. The scaled term
-  // keeps the bandwidth and message-count cost classes in proportion for
-  // byte-dominated phases, but a real NIC's per-message cost does not shrink
-  // with the payload — so the remainder of the testbed's 0.7 us is charged
-  // through the unscaled term. Message-dominated benches (node aggregation,
-  // delegate batching) would otherwise understate message-count savings by
-  // up to kScale.
   c.net.per_message_overhead = 0.1e-6;
-  c.net.per_message_overhead_unscaled = 0.6e-6;
   // Outstanding-transmit (burst) model: fully-posted all-to-all exchanges
   // overflow the NIC TX queue and pay a quadratic aggregate penalty.
   c.net.tx_queue_depth = 192;
@@ -82,6 +74,22 @@ inline mpi::JobConfig paperJob(int P, std::uint64_t seed = 1) {
   c.net.heavy_tail_mean = 0.8e-3;
   c.net.jitter_seed = seed * 7919 + 11;
   return c;
+}
+
+/// Message-cost correction for message-dominated ablations. Under the
+/// geometric model message counts stay at paper levels while bytes shrink:
+/// the scaled 0.1 us term keeps the bandwidth and message-count cost classes
+/// in proportion for byte-dominated phases, but a real NIC's per-message
+/// cost does not shrink with the payload — the remainder of the testbed's
+/// 0.7 us is charged through the unscaled term. Benches whose treatment cuts
+/// message counts (node aggregation, delegate batching) would otherwise
+/// understate the savings by up to kScale. Opt-in, NOT part of paperJob():
+/// the figure benches keep the historical calibration their recorded
+/// baselines were measured under, and an ablation that applies the
+/// correction applies it to base and treatment legs alike, so its ratios
+/// isolate the feature rather than the testbed change.
+inline void applyUnscaledMessageCost(mpi::JobConfig& c) {
+  c.net.per_message_overhead_unscaled = 0.6e-6;
 }
 
 inline core::TcioConfig paperTcio() {

@@ -312,6 +312,7 @@ void Server::servePut(Pending& p) {
   }
   freeFrame(p.frame);
   --data_queued_;
+  p.frame = -1;  // released — dispatch's error path must not free it again
   reply(p.h.client, p.h.seq, ReplyKind::kPutDone);
 }
 
@@ -366,6 +367,8 @@ void Server::serveGet(Pending& p) {
   TCIO_CHECK(total == p.h.payload_bytes);
   comm_->chargeCopy(total);
   --data_queued_;  // queue slot freed; the frame is held until kGetAck
+  p.frame = -1;    // ownership moved to the client — the error path must
+                   // neither free the frame nor re-drop data_queued_
   reply(p.h.client, p.h.seq, ReplyKind::kGetData, total);
 }
 
@@ -420,12 +423,20 @@ void Server::drainAndClose(FileState& f) {
 }
 
 void Server::serveAdopt(Pending& p) {
+  // Two passes: the whole verdict is marked dead before any adopterOf()
+  // runs, so when adjacent delegates die in the same agreement round the
+  // adopter scan skips both and the shard lands on a live delegate.
+  // Interleaving mark and adopt would hand d's shard to the also-dead d+1.
+  std::vector<int> newly_dead;
   for (const WireExtent& e : p.extents) {
     const int dead = static_cast<int>(e.seg);
     if (dead == me_) die();  // peers agreed I'm dead: self-fence
     if (s_->isDead(dead)) continue;
     s_->markDead(dead);
     ++stats_.delegates_crashed;
+    newly_dead.push_back(dead);
+  }
+  for (const int dead : newly_dead) {
     if (s_->adopterOf(dead) == me_) adoptShard(dead);
   }
   reply(p.h.client, p.h.seq, ReplyKind::kAdoptDone);
@@ -446,7 +457,17 @@ void Server::adoptShard(int dead) {
     if (parsed.records.empty()) continue;
     if (!f.drained) {
       // Replay into the shard buffers; the coming drain writes them out.
+      // Each record is re-appended to this delegate's own WAL first: if the
+      // adopter also dies before the drain, the next adopter replays only
+      // the adopter's journal (serveAdopt never revisits already-dead
+      // delegates), so the chain of acknowledged puts must be carried
+      // forward in it.
+      if (f.journal == nullptr) {
+        f.journal = std::make_unique<core::Journal>(
+            client_, core::journalPath(f.name, me_));
+      }
       for (const core::Journal::Record& r : parsed.records) {
+        f.journal->append(r.seg, r.disp, r.payload);
         SegBuf& sb = segBuf(f, r.seg);
         std::memcpy(sb.data.data() + r.disp, r.payload.data(),
                     r.payload.size());

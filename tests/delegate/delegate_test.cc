@@ -373,6 +373,94 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+TEST(DelegateCrashTest, AdjacentDoubleDeathAdoptsBothShards) {
+  // Delegates 0 and 1 both die during the put phase, so one agreement round
+  // carries a two-entry verdict. The survivor must mark the whole verdict
+  // dead before computing adopters: interleaving mark and adopt would hand
+  // delegate 0's shard to the also-dead delegate 1, silently dropping 0's
+  // acknowledged (journaled) puts.
+  fs::Filesystem fsys(fsCfg());
+  core::TcioDelegateStats stats;
+  constexpr int kProcs = 6;
+  constexpr int kDelegates = 3;
+  constexpr int kClients = kProcs - kDelegates;
+  constexpr int kBlocks = 4;
+  mpi::runJob(job(kProcs, /*seed=*/31), [&](mpi::Comm& comm) {
+    core::TcioConfig cfg = delegated(kDelegates);
+    cfg.crash.enabled = true;
+    cfg.crash.journal = true;
+    cfg.crash.liveness_window = 0.25;
+    cfg.faults.seed = 31;
+    cfg.faults.crashes.push_back({/*rank=*/0, CrashPoint::kMidJournal, 2});
+    cfg.faults.crashes.push_back({/*rank=*/1, CrashPoint::kMidJournal, 2});
+    runSession(comm, fsys, cfg, [&](Session& s, Channel& ch) {
+      const int c = s.clientComm().rank();
+      DFile f(ch, "twodead.dat", fs::kWrite | fs::kCreate);
+      for (int b = 0; b < kBlocks; ++b) {
+        const Offset off = (static_cast<Offset>(c) * kBlocks + b) * kSegment;
+        f.writeAt(off, clientBlock(c, off, kSegment));
+      }
+      f.close();
+    }, &stats);
+  });
+  EXPECT_EQ(stats.delegates_crashed, 2);
+  EXPECT_EQ(stats.shards_adopted, 2)
+      << "the lone survivor must adopt BOTH dead shards";
+  for (int c = 0; c < kClients; ++c) {
+    for (int b = 0; b < kBlocks; ++b) {
+      const Offset off = (static_cast<Offset>(c) * kBlocks + b) * kSegment;
+      EXPECT_EQ(peekBytes(fsys, "twodead.dat", off, kSegment),
+                clientBlock(c, off, kSegment))
+          << "lost bytes at client " << c << " block " << b;
+    }
+  }
+}
+
+TEST(DelegateCrashTest, AdopterCrashBeforeDrainPreservesTheChain) {
+  // Delegate 0 dies mid-put; delegate 1 adopts its shard (journal replay),
+  // then itself dies at the start of the close-time drain. Delegate 2 then
+  // adopts delegate 1 and replays only 1's journal — so 1 must have
+  // re-appended 0's replayed records into its own WAL, or 0's acknowledged
+  // puts vanish with the second death.
+  fs::Filesystem fsys(fsCfg());
+  core::TcioDelegateStats stats;
+  constexpr int kProcs = 6;
+  constexpr int kDelegates = 3;
+  constexpr int kClients = kProcs - kDelegates;
+  constexpr int kBlocks = 4;
+  mpi::runJob(job(kProcs, /*seed=*/37), [&](mpi::Comm& comm) {
+    core::TcioConfig cfg = delegated(kDelegates);
+    cfg.crash.enabled = true;
+    cfg.crash.journal = true;
+    cfg.crash.liveness_window = 0.25;
+    cfg.faults.seed = 37;
+    cfg.faults.crashes.push_back({/*rank=*/0, CrashPoint::kMidJournal, 2});
+    cfg.faults.crashes.push_back({/*rank=*/1, CrashPoint::kMidClose, 0});
+    runSession(comm, fsys, cfg, [&](Session& s, Channel& ch) {
+      const int c = s.clientComm().rank();
+      DFile f(ch, "chain.dat", fs::kWrite | fs::kCreate);
+      for (int b = 0; b < kBlocks; ++b) {
+        const Offset off = (static_cast<Offset>(c) * kBlocks + b) * kSegment;
+        f.writeAt(off, clientBlock(c, off, kSegment));
+      }
+      f.close();
+    }, &stats);
+  });
+  EXPECT_EQ(stats.delegates_crashed, 2);
+  // Only the surviving delegate's counters reach the shutdown merge
+  // (delegate 1's adoption of 0 died with it — fail-stop), so exactly one
+  // adoption is reportable even though two happened.
+  EXPECT_EQ(stats.shards_adopted, 1);
+  for (int c = 0; c < kClients; ++c) {
+    for (int b = 0; b < kBlocks; ++b) {
+      const Offset off = (static_cast<Offset>(c) * kBlocks + b) * kSegment;
+      EXPECT_EQ(peekBytes(fsys, "chain.dat", off, kSegment),
+                clientBlock(c, off, kSegment))
+          << "chain-lost bytes at client " << c << " block " << b;
+    }
+  }
+}
+
 TEST(DelegateCrashTest, CrashRunsAreDeterministic) {
   constexpr int kProcs = 6;
   auto run = [&] {

@@ -16,6 +16,12 @@
 # adoption, in-delegate fault retry, and the open/write/close churn must all
 # converge under the checker as well.
 #
+# A third leg per seed soaks the silent-corruption matrix (DESIGN.md §11) —
+# seeded bit-flips at the staging-frame / window / stored-block / journal-body
+# sites — in an ASan+UBSan build: the detect-and-repair paths shuffle frames,
+# replay journals, and unwind through typed IntegrityErrors, exactly where a
+# lifetime bug would hide from the healthy-path suite.
+#
 #   TCIO_FAULT_SEEDS    number of seeds to sweep (default 20)
 #   TCIO_SOAK_TIMEOUT   per-seed wall-clock limit in seconds (default 300)
 #   TCIO_SOAK_DELEGATES delegate count for the delegate leg (default 2)
@@ -25,18 +31,21 @@ cd "$(dirname "$0")/.."
 SEEDS=${TCIO_FAULT_SEEDS:-20}
 LIMIT=${TCIO_SOAK_TIMEOUT:-300}
 BUILD=${TCIO_SOAK_BUILD:-build}
+SAN_BUILD=${TCIO_SOAK_SAN_BUILD:-build-asan}
 DELEGATES=${TCIO_SOAK_DELEGATES:-2}
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target test_tcio test_delegate
+cmake -B "$SAN_BUILD" -S . -DTCIO_SANITIZE=ON >/dev/null
+cmake --build "$SAN_BUILD" -j "$(nproc)" --target test_tcio
 
 fails=0
 hangs=0
-run_leg() {  # run_leg <name> <seed> <log> <ctest -R pattern> [env...]
-  local name=$1 seed=$2 log=$3 pattern=$4 rc=0
-  shift 4
+run_leg() {  # run_leg <name> <seed> <log> <build dir> <ctest -R pattern> [env...]
+  local name=$1 seed=$2 log=$3 tree=$4 pattern=$5 rc=0
+  shift 5
   env "$@" timeout "$LIMIT" \
-    ctest --test-dir "$BUILD" --output-on-failure -R "$pattern" \
+    ctest --test-dir "$tree" --output-on-failure -R "$pattern" \
     >"$log" 2>&1 || rc=$?
   if [ "$rc" -eq 0 ]; then
     echo "seed $seed ($name): PASS"
@@ -50,12 +59,17 @@ run_leg() {  # run_leg <name> <seed> <log> <ctest -R pattern> [env...]
 }
 
 for ((seed = 1; seed <= SEEDS; seed++)); do
-  run_leg core "$seed" "/tmp/fault_soak_$seed.log" \
+  run_leg core "$seed" "/tmp/fault_soak_$seed.log" "$BUILD" \
     'TcioFaultMatrix|TcioCrashMatrix|TcioCrashRecovery' \
     TCIO_FAULT_SEED="$seed" TCIO_CHECK=1
-  run_leg delegate "$seed" "/tmp/fault_soak_delegate_$seed.log" \
+  run_leg delegate "$seed" "/tmp/fault_soak_delegate_$seed.log" "$BUILD" \
     'DelegateCrashTest|DelegateFaultTest|DelegateChurnTest' \
     TCIO_FAULT_SEED="$seed" TCIO_CHECK=1 TCIO_DELEGATES="$DELEGATES"
+  run_leg corruption "$seed" "/tmp/fault_soak_corruption_$seed.log" \
+    "$SAN_BUILD" \
+    'TcioIntegrity|TcioStoredBlock|TcioJournalBody|DelegateIntegrity' \
+    TCIO_FAULT_SEED="$seed" TCIO_CHECK=1 TCIO_INTEGRITY=1 \
+    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1
 done
 
 echo "fault soak: $SEEDS seeds, $fails failures, $hangs hangs"

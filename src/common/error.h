@@ -92,6 +92,16 @@ class OstFailedError : public FsError {
   int ost;
 };
 
+/// Silent data corruption that survived every repair path: a checksum-domain
+/// crossing found bytes that disagree with their recorded digest and neither
+/// the WAL, the source staging frame, nor a surviving OST replica could
+/// reconstruct them. Surfacing it (via collective agreement) is the only
+/// correct move — propagating the bytes would be silent data loss.
+class IntegrityError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// An I/O delegate's bounded request queue is at its admission watermark (or
 /// its staging-frame pool is exhausted): the request was rejected before any
 /// payload moved. Transient by construction — the client backs off in

@@ -5,7 +5,7 @@
 namespace tcio {
 
 FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint64_t salt)
-    : cfg_(cfg), rng_(cfg.seed ^ salt) {
+    : cfg_(cfg), rng_(cfg.seed ^ salt), corruption_(cfg, /*rank=*/-1) {
   TCIO_CHECK(cfg_.fs_transient_write_rate >= 0 &&
              cfg_.fs_transient_write_rate <= 1);
   TCIO_CHECK(cfg_.fs_transient_read_rate >= 0 &&
@@ -52,6 +52,44 @@ bool FaultPlan::nextMdsOp(MdsVerb verb) {
   if (rng_.uniform() >= rate) return false;
   ++mds_faults_;
   return true;
+}
+
+CorruptionPlan::CorruptionPlan(const FaultConfig& cfg, Rank rank)
+    // Dedicated stream: byte/bit draws must not perturb the shared fault
+    // RNG, or arming a corruption would change a clean run's fault schedule.
+    : rng_(cfg.seed ^
+           (kCorruptSalt + static_cast<std::uint64_t>(rank + 1))) {
+  for (const CorruptionSchedule& s : cfg.corruptions) {
+    if (s.rank != rank) continue;
+    TCIO_CHECK_MSG(s.after >= 0,
+                   "corruption schedule occurrence must be >= 0");
+    arms_.push_back({s.site, s.after});
+  }
+}
+
+bool CorruptionPlan::fires(CorruptSite site) {
+  // Advance every unfired arm for this site so each one sees the same
+  // occurrence counter — an early return here would stall later arms and
+  // make multi-arm schedules fire at call-order-dependent occurrences.
+  bool hit = false;
+  for (Arm& a : arms_) {
+    if (a.site != site || a.fired) continue;
+    if (a.seen++ == a.after) {
+      a.fired = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+std::int64_t CorruptionPlan::flipBit(std::span<std::byte> buf) {
+  if (buf.empty()) return -1;
+  const auto off = static_cast<std::int64_t>(
+                       rng_.uniform() * static_cast<double>(buf.size())) %
+                   static_cast<std::int64_t>(buf.size());
+  const int bit = static_cast<int>(rng_.uniform() * 8.0) % 8;
+  buf[static_cast<std::size_t>(off)] ^= std::byte{1} << bit;
+  return off;
 }
 
 CrashPlan::CrashPlan(const FaultConfig& cfg, Rank rank)

@@ -15,7 +15,9 @@
 // src/tcio.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -39,6 +41,27 @@ enum class CrashPoint {
 struct CrashSchedule {
   Rank rank = -1;
   CrashPoint point = CrashPoint::kAtCollective;
+  std::int64_t after = 0;
+};
+
+/// Where a scheduled silent bit-flip lands. Sites name the *memory domain*
+/// that goes bad, not the layer that detects it — detection happens at the
+/// next checksum-domain crossing (DESIGN.md §11).
+enum class CorruptSite : std::uint8_t {
+  kStagingFrame,  // level-1 / RMA staging memory, after digests are taken
+  kWindow,        // level-2 window (or delegate shard buffer) at rest
+  kStoredBlock,   // an OST block already acknowledged by Filesystem::write
+  kJournalBody,   // the payload of a committed WAL record on the journal device
+};
+
+/// One scheduled silent corruption: at the `after`-th opportunity (0-based)
+/// of `site`, one seeded bit of the affected buffer flips. `rank` selects
+/// the victim for the per-rank sites (kStagingFrame, kWindow; a delegate
+/// server filters by its own delegate index); the shared file-system sites
+/// (kStoredBlock, kJournalBody) leave it at -1.
+struct CorruptionSchedule {
+  Rank rank = -1;
+  CorruptSite site = CorruptSite::kStagingFrame;
   std::int64_t after = 0;
 };
 
@@ -106,6 +129,13 @@ struct FaultConfig {
   /// staging when drops pass `TcioConfig::rma_fault_fallback_threshold`.
   double rma_drop_rate = 0.0;
   SimTime rma_drop_delay = 200.0e-6;
+
+  // -- Silent corruption ------------------------------------------------------
+  /// Scheduled silent bit-flips (see CorruptionSchedule). Unlike every class
+  /// above, these raise no error at injection time: the corrupted bytes flow
+  /// on until an integrity check (TCIO_INTEGRITY) catches them — or, with
+  /// integrity off, all the way into user buffers.
+  std::vector<CorruptionSchedule> corruptions;
 };
 
 /// Bounded exponential backoff for absorbing transient faults, advanced in
@@ -119,6 +149,42 @@ struct RetryPolicy {
   /// Backoff is multiplied by a factor drawn uniformly from
   /// [1 - jitter_fraction/2, 1 + jitter_fraction/2] out of a seeded stream.
   double jitter_fraction = 0.5;
+};
+
+/// Per-domain view of the silent-corruption schedule. The per-rank sites
+/// (kStagingFrame, kWindow) give each TCIO rank / delegate server its own
+/// plan; the shared file-system sites (kStoredBlock, kJournalBody) live in
+/// the Filesystem's FaultPlan under rank -1. Byte/bit choices come from a
+/// dedicated seeded stream (kCorruptSalt) so arming a corruption never
+/// perturbs the transient/no-space/RMA fault draws of a clean run.
+class CorruptionPlan {
+ public:
+  static constexpr std::uint64_t kCorruptSalt = 0x626974666c697073ULL;  // "bitflips"
+
+  CorruptionPlan(const FaultConfig& cfg, Rank rank);
+
+  /// True when any corruption is scheduled for this rank (cheap gate).
+  bool armed() const { return !arms_.empty(); }
+
+  /// Advance the opportunity counter for `site`; returns true exactly once
+  /// per matching arm, at its scheduled occurrence. The caller then flips
+  /// one bit of the affected buffer (flipBit).
+  bool fires(CorruptSite site);
+
+  /// Flips one seeded bit of `buf` and returns the byte offset flipped
+  /// (-1 for an empty buffer). Exactly one (offset, bit) pair is drawn per
+  /// call, so injection stays deterministic per (seed, rank, fire index).
+  std::int64_t flipBit(std::span<std::byte> buf);
+
+ private:
+  struct Arm {
+    CorruptSite site;
+    std::int64_t after;  // scheduled occurrence (0-based)
+    std::int64_t seen = 0;
+    bool fired = false;
+  };
+  std::vector<Arm> arms_;
+  Rng rng_;
 };
 
 /// Seeded, deterministic fault schedule. One instance per consulting layer;
@@ -189,6 +255,13 @@ class FaultPlan {
   /// delay (0 when the payload goes through cleanly).
   SimTime nextRmaPayload();
 
+  // -- Silent-corruption hooks (shared file-system sites) ---------------------
+
+  /// The plan's view of the kStoredBlock / kJournalBody corruption arms
+  /// (rank -1). The Filesystem advances it once per data write / journal
+  /// append, in virtual-time order.
+  CorruptionPlan& corruption() { return corruption_; }
+
   // -- Counters (tests, stats) ------------------------------------------------
 
   std::int64_t fsRequestsSeen() const { return fs_requests_; }
@@ -200,6 +273,7 @@ class FaultPlan {
  private:
   FaultConfig cfg_;
   Rng rng_;
+  CorruptionPlan corruption_;
   std::int64_t fs_requests_ = 0;
   std::int64_t one_shot_write_in_ = -1;
   std::int64_t transients_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/crc32.h"
 #include "common/error.h"
 #include "mpi/agreement.h"
 #include "mpi/datatype.h"
@@ -21,7 +22,8 @@ std::uint64_t bit(int d) { return std::uint64_t{1} << d; }
 }  // namespace
 
 Channel::Channel(Session& session)
-    : s_(&session), comm_(&session.comm()) {
+    : s_(&session), comm_(&session.comm()),
+      integrity_on_(core::integrityEnabled(session.config())) {
   TCIO_CHECK_MSG(!s_->isDelegate(), "Channel runs on client ranks only");
   // Busy-retry backoff: start well under a service quantum and cap at a few
   // simulated milliseconds so a drained queue is re-probed promptly.
@@ -140,6 +142,17 @@ std::int64_t Channel::postPut(std::uint64_t key,
   op.payload_bytes = static_cast<Bytes>(payload.size());
   op.extents = std::move(extents);
   op.payload = std::move(payload);
+  // Digest each extent at staging time: the CRC rides the descriptor so the
+  // delegate can verify the RMA frame crossing against the source bytes.
+  if (integrity_on_) {
+    const std::byte* cursor = op.payload.data();
+    for (WireExtent& e : op.extents) {
+      const Bytes len = e.end - e.begin;
+      e.crc = crc32({cursor, static_cast<std::size_t>(len)});
+      e.has_crc = 1;
+      cursor += len;
+    }
+  }
   op.deferred = (suspected_ & bit(op.owner)) != 0;
   const std::int64_t seq = next_seq_++;
   if (!op.deferred) {
@@ -216,12 +229,23 @@ bool Channel::finishPut(std::int64_t seq) {
   h.file_key = op.key;
   sendDescriptor(op.owner, h, {});
   ReplyMsg r;
-  if (!awaitReply(op.owner, seq, &r)) {
-    // Acknowledgement lost to a death. The put may or may not have been
-    // journaled; resubmitting is idempotent either way.
-    op.deferred = true;
-    deferred_.push_back(std::move(op));
-    return false;
+  for (;;) {
+    if (!awaitReply(op.owner, seq, &r)) {
+      // Acknowledgement lost to a death. The put may or may not have been
+      // journaled; resubmitting is idempotent either way.
+      op.deferred = true;
+      deferred_.push_back(std::move(op));
+      return false;
+    }
+    if (r.kind != ReplyKind::kPutRetry) break;
+    // The delegate found the staged frame corrupt (a bit flipped across the
+    // RMA crossing). This client still holds the pristine payload: re-stage
+    // it into the same frame (r.value) and resend kPutData.
+    w.lock(mpi::LockType::kShared, op.owner);
+    w.put(op.owner, r.value * s_->frameBytes(), op.payload.data(),
+          op.payload_bytes);
+    w.unlock(op.owner);
+    sendDescriptor(op.owner, h, {});
   }
   TCIO_CHECK(r.kind == ReplyKind::kPutDone);
   return true;
@@ -305,6 +329,22 @@ void Channel::finishGet(std::int64_t seq, std::byte* out) {
   w.lock(mpi::LockType::kShared, op.owner);
   w.get(op.owner, frame * s_->frameBytes(), out, op.payload_bytes);
   w.unlock(op.owner);
+  if (r.pad != 0) {
+    // The delegate digested the staged reply (value2): verify our side of
+    // the RMA crossing before the bytes reach the user buffer. One re-read
+    // absorbs an in-flight flip — the frame is still held until kGetAck.
+    const std::span<const std::byte> got{
+        out, static_cast<std::size_t>(op.payload_bytes)};
+    if (crc32(got) != static_cast<std::uint32_t>(r.value2)) {
+      w.lock(mpi::LockType::kShared, op.owner);
+      w.get(op.owner, frame * s_->frameBytes(), out, op.payload_bytes);
+      w.unlock(op.owner);
+      if (crc32(got) != static_cast<std::uint32_t>(r.value2)) {
+        throw IntegrityError(
+            "delegate get reply failed its frame CRC after a re-read");
+      }
+    }
+  }
   RequestHeader h;
   h.op = Op::kGetAck;
   h.client = comm_->rank();
@@ -524,32 +564,39 @@ void DFile::flush() {
 void DFile::funnelToLeader() {
   mpi::Comm& node = *node_comm_;
   const Bytes seg_size = s_->config().segment_size;
-  // One message per merged run: [seg][begin][end][payload]; seg -1 ends the
-  // stream. The leader overlays peers' runs onto its own staging and then
-  // submits one coalesced put stream per segment.
+  const bool integrity_on = core::integrityEnabled(s_->config());
+  // One message per merged run: [seg][begin][end][crc][payload]; seg -1 ends
+  // the stream (crc is 0 with integrity off). The leader overlays peers' runs
+  // onto its own staging and then submits one coalesced put stream per
+  // segment.
   if (node.rank() != 0) {
     for (auto& [g, ss] : staged_) {
       for (const Extent& run : mpi::normalizeOverlapping(ss.extents)) {
-        std::vector<std::byte> msg(3 * sizeof(std::int64_t) +
+        std::vector<std::byte> msg(4 * sizeof(std::int64_t) +
                                    static_cast<std::size_t>(run.size()));
-        const std::int64_t head[3] = {g, run.begin, run.end};
+        const std::int64_t head[4] = {
+            g, run.begin, run.end,
+            integrity_on
+                ? crc32({ss.data.data() + run.begin,
+                         static_cast<std::size_t>(run.size())})
+                : 0};
         std::memcpy(msg.data(), head, sizeof(head));
         std::memcpy(msg.data() + sizeof(head), ss.data.data() + run.begin,
                     static_cast<std::size_t>(run.size()));
         node.send(msg.data(), static_cast<Bytes>(msg.size()), 0, kFunnelTag);
       }
     }
-    const std::int64_t fin[3] = {-1, 0, 0};
+    const std::int64_t fin[4] = {-1, 0, 0, 0};
     node.send(fin, sizeof(fin), 0, kFunnelTag);
     staged_.clear();
   } else {
-    std::vector<std::byte> buf(3 * sizeof(std::int64_t) +
+    std::vector<std::byte> buf(4 * sizeof(std::int64_t) +
                                static_cast<std::size_t>(seg_size));
     for (int peer = 1; peer < node.size(); ++peer) {
       for (;;) {
         const mpi::RecvStatus st = node.recv(
             buf.data(), static_cast<Bytes>(buf.size()), peer, kFunnelTag);
-        std::int64_t head[3];
+        std::int64_t head[4];
         std::memcpy(head, buf.data(), sizeof(head));
         if (head[0] < 0) break;
         StagedSeg& ss = staged_[head[0]];
@@ -558,6 +605,16 @@ void DFile::funnelToLeader() {
         }
         const Bytes len = head[2] - head[1];
         TCIO_CHECK(st.count == static_cast<Bytes>(sizeof(head)) + len);
+        // Intra-node crossing: the funnel hop is verified before the run is
+        // overlaid. A mismatch has no repair source once the peer's staging
+        // is cleared, so it surfaces — silent propagation is the one wrong
+        // move (DESIGN.md §11).
+        if (integrity_on &&
+            crc32({buf.data() + sizeof(head),
+                   static_cast<std::size_t>(len)}) !=
+                static_cast<std::uint32_t>(head[3])) {
+          throw IntegrityError("node-funnel run failed its CRC at the leader");
+        }
         std::memcpy(ss.data.data() + head[1], buf.data() + sizeof(head),
                     static_cast<std::size_t>(len));
         ss.extents.push_back({head[1], head[2]});

@@ -108,6 +108,7 @@ class Channel {
 
   Session* s_;
   mpi::Comm* comm_;
+  bool integrity_on_ = false;
   std::int64_t next_seq_ = 1;
   std::map<std::int64_t, PendingOp> pending_;
   std::vector<PendingOp> deferred_;

@@ -49,13 +49,19 @@ enum class ReplyKind : std::int32_t {
   kAdoptDone = 8,
   kShutdownDone = 9,  // a TcioDelegateStats blob follows the header
   kError = 10,        // value = mpi::CapturedError code; message text follows
+  kPutRetry = 11,     // frame CRC mismatch on arrival; re-stage the payload
 };
 
-/// One in-segment byte range [begin, end) of global segment `seg`.
+/// One in-segment byte range [begin, end) of global segment `seg`. With the
+/// integrity pipeline on (TcioConfig::integrity) a put extent also carries
+/// the CRC32 of its payload bytes, computed at client staging time, so the
+/// delegate can verify the RMA frame crossing before it copies a byte.
 struct WireExtent {
   std::int64_t seg = 0;
   std::int64_t begin = 0;
   std::int64_t end = 0;
+  std::uint32_t crc = 0;
+  std::uint32_t has_crc = 0;  // 1 = `crc` covers [begin, end)'s payload
 };
 
 /// Fixed-size head of every descriptor message. `n_extents` WireExtents and

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "check/checker.h"
+#include "common/crc32.h"
 #include "common/error.h"
 #include "mpi/agreement.h"
 #include "mpi/datatype.h"
@@ -29,6 +30,8 @@ Server::Server(Session& session)
                    "shards are reconstructed exclusively from the WAL");
     crash_plan_ = std::make_unique<CrashPlan>(cfg.faults, me_);
   }
+  integrity_on_ = core::integrityEnabled(cfg);
+  corruption_ = std::make_unique<CorruptionPlan>(cfg.faults, me_);
   free_frames_.reserve(static_cast<std::size_t>(cfg.delegate.queue_capacity));
   for (std::int64_t i = cfg.delegate.queue_capacity - 1; i >= 0; --i) {
     free_frames_.push_back(i);
@@ -136,11 +139,14 @@ void Server::admitOrReject(Pending p) {
 }
 
 void Server::reply(int client, std::int64_t seq, ReplyKind kind,
-                   std::int64_t value) {
+                   std::int64_t value, std::int64_t value2,
+                   std::int32_t pad) {
   ReplyMsg r;
   r.kind = kind;
+  r.pad = pad;
   r.seq = seq;
   r.value = value;
+  r.value2 = value2;
   comm_->send(&r, sizeof(r), client, kRepTag);
 }
 
@@ -267,16 +273,58 @@ void Server::servePut(Pending& p) {
   noteAdoptedSegment(f, g);
   crashPoint(CrashPoint::kMidRma);  // payload staged, nothing applied yet
   SegBuf& sb = segBuf(f, g);
-  const std::byte* src = frameData(p.frame);
+  std::byte* src = frameData(p.frame);
+  if (corruption_->fires(CorruptSite::kStagingFrame)) {
+    corruption_->flipBit({src, static_cast<std::size_t>(p.h.payload_bytes)});
+  }
+  // Verify the frame crossing against the digests the client took at staging
+  // time, before a byte is journaled or applied. A mismatch is repairable
+  // without the WAL: the source rank still holds the pristine payload, so it
+  // re-stages into the same frame and resends kPutData (once).
+  if (integrity_on_) {
+    bool clean = true;
+    const std::byte* check = src;
+    for (const WireExtent& e : p.extents) {
+      const Bytes len = e.end - e.begin;
+      if (e.has_crc != 0) {
+        ++stats_.crc_checks;
+        if (crc32({check, static_cast<std::size_t>(len)}) != e.crc) {
+          ++stats_.crc_mismatches;
+          clean = false;
+        }
+      }
+      check += len;
+    }
+    chargeChecksum(p.h.payload_bytes);
+    if (!clean) {
+      if (p.retries >= 1) {
+        ++stats_.unrepairable;
+        throw IntegrityError("delegate " + std::to_string(me_) +
+                             ": put frame corrupt after a client re-stage");
+      }
+      ++p.retries;
+      const int client = p.h.client;
+      const std::int64_t seq = p.h.seq;
+      const std::int64_t frame = p.frame;
+      p.ready = false;  // serviceable again when the re-staged kPutData lands
+      queues_[client].push_front(std::move(p));
+      reply(client, seq, ReplyKind::kPutRetry, frame);
+      return;
+    }
+    if (p.retries > 0) ++stats_.repaired;
+  }
   // WAL first: a record is journaled before its bytes move into the shard
   // buffer and strictly before the acknowledgement, so an acknowledged put
-  // always survives this delegate's death.
+  // always survives this delegate's death. The integrity pipeline journals
+  // too — the WAL doubles as the shard's repair source (DESIGN.md §11).
   const bool journaling =
-      s_->config().crash.enabled && s_->config().crash.journal;
+      (s_->config().crash.enabled && s_->config().crash.journal) ||
+      integrity_on_;
   if (journaling && f.journal == nullptr) {
     f.journal = std::make_unique<core::Journal>(
         client_, core::journalPath(f.name, me_));
   }
+  if (journaling) f.journal->batchBegin();  // one device write per put
   Bytes total = 0;
   const std::byte* cursor = src;
   for (const WireExtent& e : p.extents) {
@@ -297,13 +345,25 @@ void Server::servePut(Pending& p) {
     }
     std::memcpy(sb.data.data() + e.begin, cursor,
                 static_cast<std::size_t>(len));
+    if (integrity_on_ && e.has_crc != 0) {
+      ledgerInsert(sb, e.begin, len, e.crc);
+    }
     sb.extents.push_back({e.begin, e.end});
     ++sb.raw_extents;
     cursor += len;
     total += len;
   }
   TCIO_CHECK(total == p.h.payload_bytes);
+  if (journaling) f.journal->batchEnd();
   comm_->chargeCopy(total);
+  if (corruption_->fires(CorruptSite::kWindow)) {
+    // Shard-buffer-at-rest flip, landing inside the extent just applied;
+    // caught at the next ledger verification (get or drain) and healed by
+    // WAL replay.
+    const WireExtent& e = p.extents.front();
+    corruption_->flipBit({sb.data.data() + e.begin,
+                          static_cast<std::size_t>(e.end - e.begin)});
+  }
   if (check::Checker* ck = comm_->world().checker()) {
     comm_->proc().atomic([&] {
       ck->onSegmentTransfer(f.name, g, me_, "delegate::Server::servePut");
@@ -355,6 +415,9 @@ void Server::serveGet(Pending& p) {
   const SegmentId g = p.extents.front().seg;
   SegBuf& sb = segBuf(f, g);
   if (!sb.loaded) loadSegment(f, g, sb);
+  // Shard bytes are about to cross into the reply frame: re-verify the
+  // segment's ledger first so corruption-at-rest never reaches a reader.
+  if (integrity_on_) verifySegment(f, g, sb);
   std::byte* dst = frameData(p.frame);
   Bytes total = 0;
   for (const WireExtent& e : p.extents) {
@@ -366,10 +429,20 @@ void Server::serveGet(Pending& p) {
   }
   TCIO_CHECK(total == p.h.payload_bytes);
   comm_->chargeCopy(total);
+  // Digest the staged reply so the client can verify its side of the RMA
+  // frame crossing (pad == 1 flags a valid value2 CRC).
+  std::int64_t reply_crc = 0;
+  std::int32_t has_reply_crc = 0;
+  if (integrity_on_) {
+    reply_crc = crc32({dst, static_cast<std::size_t>(total)});
+    has_reply_crc = 1;
+    chargeChecksum(total);
+  }
   --data_queued_;  // queue slot freed; the frame is held until kGetAck
   p.frame = -1;    // ownership moved to the client — the error path must
                    // neither free the frame nor re-drop data_queued_
-  reply(p.h.client, p.h.seq, ReplyKind::kGetData, total);
+  reply(p.h.client, p.h.seq, ReplyKind::kGetData, total, reply_crc,
+        has_reply_crc);
 }
 
 void Server::serveClose(Pending& p) {
@@ -399,6 +472,9 @@ void Server::drainAndClose(FileState& f) {
   Bytes local_max = 0;
   for (auto& [g, sb] : f.segs) {
     if (sb.extents.empty()) continue;
+    // Last crossing before the store: scrub the whole shard segment against
+    // its ledger so corruption-at-rest never reaches an OST.
+    if (integrity_on_) verifySegment(f, g, sb);
     const std::vector<Extent> merged = mpi::normalizeOverlapping(sb.extents);
     const Offset base = g * s_->config().segment_size;
     for (const Extent& run : merged) {
@@ -466,11 +542,16 @@ void Server::adoptShard(int dead) {
         f.journal = std::make_unique<core::Journal>(
             client_, core::journalPath(f.name, me_));
       }
+      f.journal->batchBegin();  // one device write for the adopted log
       for (const core::Journal::Record& r : parsed.records) {
         f.journal->append(r.seg, r.disp, r.payload);
         SegBuf& sb = segBuf(f, r.seg);
         std::memcpy(sb.data.data() + r.disp, r.payload.data(),
                     r.payload.size());
+        if (integrity_on_) {
+          ledgerInsert(sb, r.disp, static_cast<Bytes>(r.payload.size()),
+                       crc32(r.payload));
+        }
         sb.extents.push_back(
             {r.disp, r.disp + static_cast<Offset>(r.payload.size())});
         ++sb.raw_extents;
@@ -481,6 +562,7 @@ void Server::adoptShard(int dead) {
           });
         }
       }
+      f.journal->batchEnd();
     } else {
       // The file already drained here: write the dead shard's journaled
       // bytes straight to the file (merged runs, like a drain would).
@@ -531,6 +613,67 @@ void Server::serveShutdown(Pending& p) {
   comm_->send(msg.data(), static_cast<Bytes>(msg.size()), p.h.client,
               kRepTag);
   shutdown_ = true;
+}
+
+// -- End-to-end integrity at the delegate (DESIGN.md §11) ---------------------
+
+void Server::chargeChecksum(Bytes n) {
+  comm_->proc().advance(static_cast<double>(n) /
+                        s_->config().integrity.checksum_bandwidth);
+}
+
+void Server::ledgerInsert(SegBuf& sb, Offset disp, Bytes len,
+                          std::uint32_t crc) {
+  const Offset end = disp + len;
+  for (auto it = sb.ledger.begin(); it != sb.ledger.end();) {
+    const Offset b = it->first;
+    if (b < end && disp < b + it->second.len) {
+      it = sb.ledger.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sb.ledger[disp] = {len, crc};
+}
+
+void Server::verifySegment(FileState& f, SegmentId g, SegBuf& sb) {
+  if (sb.ledger.empty()) return;
+  const auto clean = [&](bool count) {
+    bool ok = true;
+    Bytes checked = 0;
+    for (const auto& [disp, ent] : sb.ledger) {
+      if (count) ++stats_.crc_checks;
+      checked += ent.len;
+      if (crc32({sb.data.data() + disp, static_cast<std::size_t>(ent.len)}) !=
+          ent.crc) {
+        if (count) ++stats_.crc_mismatches;
+        ok = false;
+      }
+    }
+    chargeChecksum(checked);
+    return ok;
+  };
+  if (clean(/*count=*/true)) return;
+  // Repair from this delegate's WAL: with integrity on, every acknowledged
+  // put was journaled first, so replaying the segment's records in append
+  // order reconstructs exactly the bytes the ledger digests were taken over.
+  if (f.journal == nullptr) {
+    ++stats_.unrepairable;
+    throw IntegrityError("delegate " + std::to_string(me_) + ": segment " +
+                         std::to_string(g) + " corrupt with no WAL to replay");
+  }
+  const core::Journal::Parsed parsed =
+      core::Journal::readAndParse(client_, core::journalPath(f.name, me_));
+  for (const core::Journal::Record& r : parsed.records) {
+    if (r.seg != g) continue;
+    std::memcpy(sb.data.data() + r.disp, r.payload.data(), r.payload.size());
+  }
+  if (!clean(/*count=*/false)) {
+    ++stats_.unrepairable;
+    throw IntegrityError("delegate " + std::to_string(me_) + ": segment " +
+                         std::to_string(g) + " still corrupt after WAL replay");
+  }
+  ++stats_.repaired;
 }
 
 std::byte* Server::frameData(std::int64_t frame) {

@@ -59,6 +59,14 @@ class Server {
     std::string name;        // kOpen only
     std::int64_t frame = -1; // staging frame held by this request (-1 none)
     bool ready = true;       // kPut flips true when kPutData arrives
+    int retries = 0;         // kPutRetry rounds already spent on this put
+  };
+
+  /// One digest the shard ledger holds for an extent starting at some
+  /// in-segment displacement (integrity pipeline only).
+  struct LedgerEntry {
+    Bytes len = 0;
+    std::uint32_t crc = 0;
   };
 
   /// Per-segment shard buffer (the delegate-owned slice of level 2).
@@ -67,6 +75,9 @@ class Server {
     std::vector<Extent> extents;   // raw dirty extents, merged at drain
     std::int64_t raw_extents = 0;  // pre-merge count (batching stats)
     bool loaded = false;           // clean bytes faulted in from the FS
+    /// Verified per-extent digests keyed by displacement; last writer wins
+    /// (overlapped entries are dropped on insert). Empty with integrity off.
+    std::map<Offset, LedgerEntry> ledger;
   };
 
   struct FileState {
@@ -86,7 +97,8 @@ class Server {
   void handleArrival(const std::byte* buf, Bytes received);
   void admitOrReject(Pending p);
   void reply(int client, std::int64_t seq, ReplyKind kind,
-             std::int64_t value = 0);
+             std::int64_t value = 0, std::int64_t value2 = 0,
+             std::int32_t pad = 0);
 
   // Service side.
   bool hasServiceable() const;
@@ -113,10 +125,22 @@ class Server {
   /// but does not naturally own (checker integration).
   void noteAdoptedSegment(FileState& f, SegmentId g);
 
+  // End-to-end integrity at the delegate (DESIGN.md §11).
+  /// Records a verified extent digest; overlapped older entries are erased.
+  void ledgerInsert(SegBuf& sb, Offset disp, Bytes len, std::uint32_t crc);
+  /// Re-verifies every ledgered digest of `g`; on mismatch replays this
+  /// delegate's WAL for the segment and re-verifies. Throws IntegrityError
+  /// when no journal exists or the replayed bytes still mismatch.
+  void verifySegment(FileState& f, SegmentId g, SegBuf& sb);
+  /// Charges digest throughput (IntegrityConfig::checksum_bandwidth).
+  void chargeChecksum(Bytes n);
+
   Session* s_;
   mpi::Comm* comm_;
   fs::FsClient client_;
   std::unique_ptr<CrashPlan> crash_plan_;
+  std::unique_ptr<CorruptionPlan> corruption_;
+  bool integrity_on_ = false;
   int me_;  // delegate index == session rank
 
   std::map<std::uint64_t, FileState> files_;

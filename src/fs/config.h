@@ -56,6 +56,22 @@ struct FsConfig {
   /// every level-2 flush costs well under the striped OST write path.
   double journal_bandwidth = 2.0e9;
   SimTime journal_latency = 20.0e-6;
+
+  /// Stored-block checksum domain (DESIGN.md §11): tri-state. > 0 forces
+  /// per-page digests + read-verify on; 0 defers to the TCIO_INTEGRITY
+  /// environment variable; < 0 pins it off regardless of the environment.
+  int integrity = 0;
+  /// Mirror every acknowledged data page to a replica store (modelled as an
+  /// asynchronous mirror — no extra foreground cost) so a failed page
+  /// verify can be read-repaired. Off: a stored-block corruption is
+  /// unrepairable and surfaces as a typed IntegrityError. The journal
+  /// device is never replicated or page-digested — its records carry their
+  /// own frame CRCs and replay drops what fails them.
+  bool integrity_replicas = true;
+  /// Per-byte digest/verify throughput. Hardware-folded CRC32 (PCLMUL
+  /// class) runs near memory speed and overlaps the copy pass that is
+  /// already charged, so only the residual per-byte cost appears here.
+  double checksum_bandwidth = 50.0e9;
 };
 
 }  // namespace tcio::fs

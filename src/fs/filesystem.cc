@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
+#include "common/env.h"
+
 namespace tcio::fs {
 
 Filesystem::Filesystem(FsConfig cfg) : cfg_(cfg), mds_(1.0) {
@@ -9,6 +12,10 @@ Filesystem::Filesystem(FsConfig cfg) : cfg_(cfg), mds_(1.0) {
   TCIO_CHECK(cfg_.stripe_size > 0);
   TCIO_CHECK(cfg_.default_stripe_count >= 1 &&
              cfg_.default_stripe_count <= cfg_.num_osts);
+  TCIO_CHECK(cfg_.page_size > 0);
+  TCIO_CHECK(cfg_.checksum_bandwidth > 0);
+  integrity_ = cfg_.integrity > 0 ||
+               (cfg_.integrity == 0 && envInt64("TCIO_INTEGRITY", 0) > 0);
   osts_.reserve(static_cast<std::size_t>(cfg_.num_osts));
   caches_.reserve(static_cast<std::size_t>(cfg_.num_osts));
   for (int i = 0; i < cfg_.num_osts; ++i) {
@@ -122,6 +129,19 @@ SimTime Filesystem::write(int client, SimTime t, int inode, Offset off,
     done = std::max(done, end);
   });
   ino.store.write(off, data);
+  if (integrity_) {
+    digestPages(ino, off, n);
+    // Digest pass over the acknowledged bytes (hardware-folded CRC; the
+    // replica mirror is asynchronous and charges nothing in the foreground).
+    done += static_cast<double>(n) / cfg_.checksum_bandwidth;
+  }
+  if (plan_ != nullptr &&
+      plan_->corruption().fires(CorruptSite::kStoredBlock)) {
+    // Silent media corruption of an already-acknowledged block: flips a bit
+    // in the primary store only, after the digests were taken, so the next
+    // verified read sees bytes that disagree with their recorded CRC.
+    flipStoredBit(ino, off, n);
+  }
   return done;
 }
 
@@ -156,6 +176,10 @@ SimTime Filesystem::read(int client, SimTime t, int inode, Offset off,
     if (trace_ != nullptr) trace_->record(client, t, end, "fs.read", rlen);
     done = std::max(done, end);
   });
+  if (integrity_) {
+    verifyPages(ino, off, n);
+    done += static_cast<double>(n) / cfg_.checksum_bandwidth;
+  }
   ino.store.read(off, out);
   return done;
 }
@@ -180,6 +204,13 @@ SimTime Filesystem::journalWrite(int client, SimTime t, int inode, Offset off,
       t + cfg_.journal_latency + static_cast<double>(n) / cfg_.journal_bandwidth;
   if (trace_ != nullptr) trace_->record(client, t, end, "fs.journal", n);
   ino.store.write(off, data);
+  if (plan_ != nullptr &&
+      plan_->corruption().fires(CorruptSite::kJournalBody)) {
+    // The journal device is never page-digested or replicated: a bit flip in
+    // a committed record survives to replay, where the record's own frame
+    // CRC catches it and the record is dropped.
+    flipStoredBit(ino, off, n);
+  }
   return end;
 }
 
@@ -194,13 +225,6 @@ void Filesystem::peek(const std::string& name, Offset off,
   const auto it = names_.find(name);
   TCIO_CHECK_MSG(it != names_.end(), "peek: no such file: " + name);
   inodeAt(it->second).store.read(off, out);
-}
-
-void Filesystem::pokeByte(const std::string& name, Offset off,
-                          std::byte value) {
-  const auto it = names_.find(name);
-  TCIO_CHECK_MSG(it != names_.end(), "pokeByte: no such file: " + name);
-  inodeAt(it->second).store.write(off, {&value, 1});
 }
 
 Bytes Filesystem::peekSize(const std::string& name) const {
@@ -311,6 +335,59 @@ Filesystem::RemapResult Filesystem::remapChunks(int client, SimTime t,
                cfg_.rpc_latency;
   }
   return res;
+}
+
+void Filesystem::digestPages(Inode& ino, Offset off, Bytes n) {
+  const Bytes page = cfg_.page_size;
+  const std::int64_t first = off / page;
+  const std::int64_t last = (off + n - 1) / page;
+  std::vector<std::byte> buf(static_cast<std::size_t>(page));
+  for (std::int64_t p = first; p <= last; ++p) {
+    // Full-page digests: the store reads holes and past-EOF bytes as zeros,
+    // so a digest taken before the file grows stays valid afterwards.
+    ino.store.read(p * page, buf);
+    ino.page_crc[p] = crc32(buf);
+    if (cfg_.integrity_replicas) ino.replica.write(p * page, buf);
+  }
+}
+
+void Filesystem::verifyPages(Inode& ino, Offset off, Bytes n) {
+  if (ino.page_crc.empty()) return;  // never-digested file (journal inode)
+  const Bytes page = cfg_.page_size;
+  const std::int64_t first = off / page;
+  const std::int64_t last = (off + n - 1) / page;
+  std::vector<std::byte> buf(static_cast<std::size_t>(page));
+  for (std::int64_t p = first; p <= last; ++p) {
+    const auto it = ino.page_crc.find(p);
+    if (it == ino.page_crc.end()) continue;  // page never written
+    ++stats_.integrity_page_checks;
+    ino.store.read(p * page, buf);
+    if (crc32(buf) == it->second) continue;
+    ++stats_.integrity_page_mismatches;
+    if (cfg_.integrity_replicas) {
+      ino.replica.read(p * page, buf);
+      if (crc32(buf) == it->second) {
+        // Read-repair: the replica still matches the recorded digest — heal
+        // the primary copy and serve the read from the repaired bytes.
+        ino.store.write(p * page, buf);
+        ++stats_.integrity_pages_repaired;
+        continue;
+      }
+    }
+    throw IntegrityError("stored-block corruption on " + ino.name + " page " +
+                         std::to_string(p) +
+                         (cfg_.integrity_replicas
+                              ? ": replica also fails its digest"
+                              : ": no replica configured"));
+  }
+}
+
+void Filesystem::flipStoredBit(Inode& ino, Offset off, Bytes n) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(n));
+  ino.store.read(off, buf);
+  if (plan_->corruption().flipBit(buf) < 0) return;
+  ino.store.write(off, buf);
+  ++stats_.corruptions_injected;
 }
 
 std::int64_t Filesystem::revocations(const std::string& name) const {

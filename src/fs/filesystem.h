@@ -50,6 +50,12 @@ struct FsStats {
   /// Journal-device accounting (write-ahead log appends).
   std::int64_t journal_writes = 0;
   Bytes journal_bytes = 0;
+  /// Stored-block checksum domain (0 unless FsConfig::integrity resolves on).
+  std::int64_t integrity_page_checks = 0;
+  std::int64_t integrity_page_mismatches = 0;
+  std::int64_t integrity_pages_repaired = 0;
+  /// Seeded silent corruptions actually injected (kStoredBlock/kJournalBody).
+  std::int64_t corruptions_injected = 0;
 };
 
 /// Shared file system state + cost model.
@@ -92,8 +98,6 @@ class Filesystem {
   /// Reads file contents directly from the store.
   void peek(const std::string& name, Offset off, std::span<std::byte> out) const;
   Bytes peekSize(const std::string& name) const;
-  /// Corrupts one stored byte (fault-injection for integrity tests).
-  void pokeByte(const std::string& name, Offset off, std::byte value);
 
   /// Snapshot of counters (lock stats aggregated over all files).
   FsStats stats() const {
@@ -159,6 +163,12 @@ class Filesystem {
     /// Degraded-mode overrides: chunk index -> surviving OST. Populated by
     /// remapChunks() after a permanent OST failure; empty in healthy runs.
     std::map<std::int64_t, int> remap;
+    /// Stored-block checksum domain: CRC32 per FsConfig::page_size page,
+    /// recorded at write acknowledgement, verified on every read. Journal
+    /// inodes never appear here (journalWrite maintains no digests).
+    std::map<std::int64_t, std::uint32_t> page_crc;
+    /// Mirrored replica of every digested page (read-repair source).
+    SparseStore replica;
   };
 
   /// OST serving [off, off+len) of a file (remap overrides striping).
@@ -183,6 +193,10 @@ class Filesystem {
   /// RPC faults (FsClient's open/close retry loops absorb it).
   void maybeMdsFault(FaultPlan::MdsVerb verb, const std::string& name);
 
+  /// True when the stored-block checksum domain is active (resolved once in
+  /// the constructor from FsConfig::integrity and TCIO_INTEGRITY).
+  bool integrityOn() const { return integrity_; }
+
   /// Moves remapped chunks back to their home OST once it has recovered
   /// (FaultPlan::ostRecovered). Called lazily from the costed paths; charges
   /// one MDS op when anything moved and returns its completion time (or `t`).
@@ -190,6 +204,16 @@ class Filesystem {
 
   Inode& inodeAt(int inode);
   const Inode& inodeAt(int inode) const;
+
+  /// Re-digests (and mirrors) every page overlapping [off, off+n).
+  void digestPages(Inode& ino, Offset off, Bytes n);
+  /// Verifies every digested page overlapping [off, off+n); read-repairs a
+  /// mismatching page from the replica (healing the primary) or throws
+  /// IntegrityError when no intact copy survives.
+  void verifyPages(Inode& ino, Offset off, Bytes n);
+  /// Flips one seeded bit of the primary store inside [off, off+n)
+  /// (injection helper — bypasses digests and the replica by design).
+  void flipStoredBit(Inode& ino, Offset off, Bytes n);
 
   /// Splits [off, off+n) into maximal runs served by a single OST and calls
   /// fn(ost, run_off, run_len) for each.
@@ -204,6 +228,7 @@ class Filesystem {
   std::vector<ServerCache> caches_;
   int next_start_ost_ = 0;
   int next_remap_ost_ = 0;
+  bool integrity_ = false;
   FsStats stats_;
   std::map<int, std::int64_t> ops_by_client_;
   std::unique_ptr<FaultPlan> plan_;

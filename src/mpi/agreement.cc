@@ -6,7 +6,9 @@ namespace tcio::mpi {
 
 void CapturedError::capture(const std::exception& e) {
   what = e.what();
-  if (dynamic_cast<const RankCrashedError*>(&e) != nullptr) {
+  if (dynamic_cast<const IntegrityError*>(&e) != nullptr) {
+    code = kIntegrity;
+  } else if (dynamic_cast<const RankCrashedError*>(&e) != nullptr) {
     code = kRankCrashed;
   } else if (dynamic_cast<const OstFailedError*>(&e) != nullptr) {
     code = kOstFailed;
@@ -55,6 +57,8 @@ void agreeOnError(Comm& comm, const CapturedError& local) {
 
 void throwTyped(std::int32_t code, const std::string& what) {
   switch (code) {
+    case CapturedError::kIntegrity:
+      throw IntegrityError(what);
     case CapturedError::kRankCrashed:
       throw RankCrashedError(what, /*crashed_rank=*/-1);
     case CapturedError::kOstFailed:

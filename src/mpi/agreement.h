@@ -41,7 +41,8 @@ struct CapturedError {
     kFileNotFound = 6,
     kOstFailed = 7,     // permanent OST death
     kRankCrashed = 8,   // fail-stop peer crash (liveness protocol verdict)
-    kOutOfMemory = 9,   // budget exceeded — a config error, always wins
+    kOutOfMemory = 9,   // budget exceeded — a config error
+    kIntegrity = 10,    // unrepairable silent corruption — always wins
   };
 
   std::int32_t code = kNone;

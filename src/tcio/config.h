@@ -7,6 +7,7 @@
 // level-1 buffer is aligned with one level-2 buffer segment").
 #pragma once
 
+#include "common/env.h"
 #include "common/fault.h"
 #include "common/types.h"
 
@@ -119,6 +120,27 @@ struct TcioConfig {
   };
   CrashToleranceConfig crash;
 
+  /// End-to-end data integrity (DESIGN.md §11). All checksum domains hang
+  /// off one switch so a job opts into the whole pipeline at once: per-extent
+  /// CRC32 digests at client put time, verification at every domain crossing
+  /// (staging frame → window → store → journal), read-repair from the WAL or
+  /// an OST replica, and a background scrubber over owned segments.
+  struct IntegrityConfig {
+    /// Tri-state: > 0 on; 0 defers to the TCIO_INTEGRITY environment
+    /// variable; < 0 pinned off regardless of the environment.
+    int enabled = 0;
+    /// Owned segments re-verified per collective call by the background
+    /// scrubber (round-robin cursor; 0 disables between-collective scrubs).
+    std::int64_t scrub_segments_per_collective = 2;
+    /// Verify every owned, digested segment once more at close, before the
+    /// drain writes it back.
+    bool scrub_at_close = true;
+    /// Per-byte digest/verify throughput charged to virtual time (folded
+    /// CRC32 runs near memory speed; see FsConfig::checksum_bandwidth).
+    double checksum_bandwidth = 50.0e9;
+  };
+  IntegrityConfig integrity;
+
   /// Degradation ladder, RMA leg: once the network has dropped (and
   /// retransmitted) at least this many RMA payloads, the next collective
   /// point agrees to abandon one-sided epochs and run every remaining
@@ -128,5 +150,12 @@ struct TcioConfig {
   /// funnel). 0 disables.
   std::int64_t rma_fault_fallback_threshold = 0;
 };
+
+/// Resolves IntegrityConfig::enabled's tri-state against TCIO_INTEGRITY.
+inline bool integrityEnabled(const TcioConfig& cfg) {
+  if (cfg.integrity.enabled > 0) return true;
+  if (cfg.integrity.enabled < 0) return false;
+  return envInt64("TCIO_INTEGRITY", 0) > 0;
+}
 
 }  // namespace tcio::core

@@ -95,6 +95,11 @@ struct TcioDelegateStats {
   std::int64_t shards_adopted = 0;       // dead delegates whose shard moved here
   std::int64_t journal_records_replayed = 0;  // WAL records replayed on adopt
   std::int64_t deferred_resubmissions = 0;    // requests rerouted after a death
+  // End-to-end integrity at the delegate (TcioConfig::integrity).
+  std::int64_t crc_checks = 0;       // extent digests verified at the server
+  std::int64_t crc_mismatches = 0;   // verifications that found corruption
+  std::int64_t repaired = 0;         // healed (client re-stage / WAL replay)
+  std::int64_t unrepairable = 0;     // surfaced as IntegrityError
 
   void merge(const TcioDelegateStats& o) {
     submissions += o.submissions;
@@ -114,7 +119,28 @@ struct TcioDelegateStats {
     shards_adopted += o.shards_adopted;
     journal_records_replayed += o.journal_records_replayed;
     deferred_resubmissions += o.deferred_resubmissions;
+    crc_checks += o.crc_checks;
+    crc_mismatches += o.crc_mismatches;
+    repaired += o.repaired;
+    unrepairable += o.unrepairable;
   }
+};
+
+/// End-to-end integrity counters (TcioConfig::integrity; all zero unless the
+/// checksum pipeline is on). `crc_mismatches` > 0 with `unrepairable` == 0
+/// means every detected corruption was repaired before user data moved.
+struct TcioIntegrityStats {
+  std::int64_t crc_checks = 0;       // extent digests verified at crossings
+  std::int64_t crc_mismatches = 0;   // verifications that found corruption
+  std::int64_t repaired = 0;         // mismatches healed (WAL / source frame)
+  std::int64_t unrepairable = 0;     // mismatches with no surviving copy
+  std::int64_t scrub_passes = 0;     // background scrubber invocations
+  std::int64_t segments_scrubbed = 0;  // segments the scrubber verified
+  /// Stored-block (FS) checksum-domain counters, folded from the shared
+  /// Filesystem at close — global across ranks, not per-rank.
+  std::int64_t fs_page_checks = 0;
+  std::int64_t fs_page_mismatches = 0;
+  std::int64_t fs_pages_repaired = 0;
 };
 
 /// Runtime counters (also the evidence for the paper's Table III row on
@@ -140,6 +166,8 @@ struct TcioStats {
   TcioDegradedStats degraded;
   /// Delegate request-queue accounting (all zero outside delegate sessions).
   TcioDelegateStats delegate;
+  /// End-to-end checksum accounting (all zero with integrity off).
+  TcioIntegrityStats integrity;
 };
 
 /// One rank's handle on a shared TCIO file. Open/flush/fetch/close are
@@ -180,6 +208,11 @@ class File {
   // Raw-byte conveniences used throughout tests and benches.
   void writeAt(Offset off, const void* data, Bytes n);
   void readAt(Offset off, void* data, Bytes n);
+
+  /// Communicator contexts reserved per block for crash shrinks. Not a cap
+  /// on total shrink events: when a block is spent, rank 0 of the surviving
+  /// communicator reserves a fresh block (see File::handleDeaths).
+  static constexpr int kMaxShrinks = 8;
 
   bool isOpen() const { return open_; }
   Offset tell() const { return pointer_; }
@@ -335,6 +368,67 @@ class File {
   /// Copies the client/network recovery counters into stats_.degraded.
   void syncRecoveryStats();
 
+  // -- End-to-end integrity (TcioConfig::integrity, DESIGN.md §11) -----------
+
+  /// One digest *run* taken at client put time, in flight between a level-1
+  /// flush and the next collective's digest exchange. A run covers `count`
+  /// equal-length pieces spaced `stride` bytes apart (count == 1 for a plain
+  /// contiguous extent) under ONE streamed CRC — the canonical interleaved
+  /// pattern digests a whole flush's worth of tiny strided extents per
+  /// record instead of paying 32 wire bytes for every 4-byte element.
+  struct DigestRec {
+    std::int64_t seg = 0;
+    Offset disp = 0;           // first piece's in-segment displacement
+    std::uint32_t len = 0;     // bytes per piece
+    std::uint32_t stride = 0;  // spacing between piece starts (0: count == 1)
+    std::uint32_t count = 1;   // pieces in the run
+    std::uint32_t crc = 0;     // CRC32 over the pieces' bytes, concatenated
+  };
+  static_assert(sizeof(DigestRec) == 32);
+
+  /// Owner-side digest ledger entry: one run of an owned segment.
+  struct LedgerEntry {
+    Bytes len = 0;            // bytes per piece
+    Offset stride = 0;        // spacing between piece starts (count > 1 only)
+    std::int64_t count = 1;   // pieces in the run
+    std::uint32_t crc = 0;    // CRC32 over the pieces, concatenated in order
+  };
+
+  /// Records digests of the level-1 buffer's merged extents (client put
+  /// time, before any hop can corrupt them), coalescing contiguous or
+  /// constant-stride neighbours into runs.
+  void digestLevel1(SegmentId seg, const std::vector<Extent>& extents);
+  /// Collective: moves every rank's pending digests to the segment owners —
+  /// routed point-to-point under static ownership, broadcast in crash mode
+  /// (takeovers change ownership under the writers' feet). Aligned with the
+  /// flush / fetch / close exchanges, so it works in every transfer mode.
+  void exchangeDigests();
+  /// Folds one run into this owner's ledger. An older entry is superseded
+  /// whole when any of its pieces actually intersects the new run — CRCs are
+  /// not splittable, but interlocking strided runs from different writers
+  /// coexist because their pieces never touch.
+  void ledgerInsert(SegmentId seg, Offset disp, Bytes len, Offset stride,
+                    std::int64_t count, std::uint32_t crc);
+  /// Streams the CRC of `entry`'s pieces out of owned slot `slot`.
+  std::uint32_t ledgerCrc(const std::byte* local, std::int64_t slot,
+                          Offset disp, const LedgerEntry& entry) const;
+  /// Verifies every ledgered extent of owned slot `slot` (segment `g`)
+  /// against the window bytes; repairs from the WAL on mismatch; throws
+  /// IntegrityError when repair fails.
+  void verifySlot(SegmentId g, std::int64_t slot);
+  /// WAL repair: re-applies every journaled record of segment `g` into the
+  /// window, then re-verifies the ledger. Throws IntegrityError on failure.
+  void repairSegment(SegmentId g, std::int64_t slot);
+  /// Background scrubber: verifies up to scrub_segments_per_collective owned
+  /// segments per call, round-robin. Failures land in `err` for the caller's
+  /// agreement round.
+  void scrubTick(mpi::CapturedError& err);
+  /// Charges the virtual-time cost of a digest/verify pass over n bytes.
+  void chargeChecksum(Bytes n);
+  /// Seeded kWindow corruption: flips one bit inside a ledgered extent of an
+  /// owned slot (consumes the arm only when a candidate exists).
+  void maybeCorruptWindow();
+
   /// Tells the runtime checker this file's session ended without a clean
   /// close (agreed error), so drain coverage is skipped and a reopen starts
   /// a fresh checker session. No-op when the checker is off.
@@ -363,8 +457,15 @@ class File {
   bool fallback_two_sided_ = false;
   TcioStats stats_;
 
+  // -- Integrity state (inert unless integrity_on_) --------------------------
+  bool integrity_on_ = false;
+  std::unique_ptr<CorruptionPlan> corruption_;  // seeded, rank-salted
+  std::vector<DigestRec> pending_digests_;      // since the last exchange
+  /// Owner-side ledger: segment -> (in-segment displacement -> entry).
+  std::map<SegmentId, std::map<Offset, LedgerEntry>> ledger_;
+  std::int64_t scrub_cursor_ = 0;  // round-robin over owned slots
+
   // -- Crash-tolerance state (inert unless cfg_.crash.enabled) ---------------
-  static constexpr int kMaxShrinks = 8;  // reserved comm contexts per file
 
   /// This rank's identity in the communicator the file was opened on.
   /// Segment ownership, window targets, and journal names are all defined

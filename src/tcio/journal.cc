@@ -61,21 +61,42 @@ void Journal::append(std::int64_t seg, Offset disp,
   if (!payload.empty()) {
     std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
   }
-  Bytes n = static_cast<Bytes>(frame.size());
+  ++records_;
   if (torn_prefix >= 0) {
     // Crash mid-append: only the prefix reaches the platter. The torn
-    // record is unreadable (short frame or CRC mismatch) by design.
-    n = std::min<Bytes>(n, torn_prefix);
+    // record is unreadable (short frame or CRC mismatch) by design. Any
+    // batched records ahead of it still make the device — they were
+    // logically appended first.
+    const auto torn = static_cast<std::size_t>(
+        std::min<Bytes>(static_cast<Bytes>(frame.size()), torn_prefix));
+    batch_.insert(batch_.end(), frame.begin(),
+                  frame.begin() + static_cast<std::ptrdiff_t>(torn));
+    flushBatch();
+    return;
   }
-  if (n > 0) {
-    client_->appendJournal(file_, cursor_, frame.data(), n);
-  }
-  cursor_ += n;
-  ++records_;
+  batch_.insert(batch_.end(), frame.begin(), frame.end());
+  if (!batching_) flushBatch();
+}
+
+void Journal::batchBegin() { batching_ = true; }
+
+void Journal::batchEnd() {
+  batching_ = false;
+  flushBatch();
+}
+
+void Journal::flushBatch() {
+  if (batch_.empty()) return;
+  client_->appendJournal(file_, cursor_, batch_.data(),
+                         static_cast<Bytes>(batch_.size()));
+  cursor_ += static_cast<Offset>(batch_.size());
+  batch_.clear();
 }
 
 void Journal::commit() {
   TCIO_CHECK_MSG(file_.valid(), "commit on a closed journal");
+  batch_.clear();  // committed bytes supersede anything still buffered
+  batching_ = false;
   if (cursor_ == 0) return;
   // Truncating reopen: the journal's bytes are superseded by the committed
   // file contents. One MDS round-trip, no data movement.
@@ -114,8 +135,13 @@ Journal::Parsed Journal::parse(std::span<const std::byte> raw) {
         raw.data() + pos + static_cast<std::size_t>(kHeaderBytes),
         static_cast<std::size_t>(len));
     if (frameCrc(seg, disp, len, payload) != crc) {
-      ++out.torn_records;
-      break;
+      // Complete frame, valid magic, in-bounds length — the framing is
+      // intact and only the body is corrupt (a flipped bit on the journal
+      // device, not a torn append). Drop this record and keep scanning.
+      ++out.corrupt_records;
+      pos += static_cast<std::size_t>(kHeaderBytes) +
+             static_cast<std::size_t>(len);
+      continue;
     }
     Record rec;
     rec.seg = seg;

@@ -40,10 +40,15 @@ class Journal {
   /// Result of scanning a journal image.
   struct Parsed {
     std::vector<Record> records;
-    /// Trailing records cut by a crash (bad magic / short frame / CRC
-    /// mismatch). The scan stops at the first torn frame — everything
-    /// before it is intact by construction (appends are sequential).
+    /// Trailing records cut by a crash (bad magic / short frame / truncated
+    /// payload). The scan stops at the first torn frame — the framing is
+    /// unrecoverable past it (appends are sequential).
     std::int64_t torn_records = 0;
+    /// Structurally complete records whose body fails its CRC: a silent bit
+    /// flip on the journal device, not a torn append. The frame boundaries
+    /// are intact, so the scan DROPS the record and continues — later
+    /// records are still replayable.
+    std::int64_t corrupt_records = 0;
     Bytes bytes_replayable = 0;  // payload bytes across intact records
   };
 
@@ -59,6 +64,16 @@ class Journal {
   void append(std::int64_t seg, Offset disp,
               std::span<const std::byte> payload,
               std::int64_t torn_prefix = -1);
+
+  /// Group commit. Between batchBegin() and batchEnd(), append() buffers
+  /// frames in memory and batchEnd() pushes them to the journal device as
+  /// ONE write — one latency charge per flush instead of one per record,
+  /// which is what keeps integrity journaling affordable for workloads with
+  /// thousands of tiny strided extents. A torn append flushes immediately
+  /// (everything pending plus the torn prefix): the crash model needs the
+  /// bytes on the device at the instant the rank dies.
+  void batchBegin();
+  void batchEnd();
 
   /// Commit: every journaled byte is durably in the file proper, so the log
   /// is truncated to empty (one cheap journal-device write of a zero
@@ -81,11 +96,15 @@ class Journal {
   static Parsed readAndParse(fs::FsClient& client, const std::string& path);
 
  private:
+  void flushBatch();
+
   fs::FsClient* client_;
   std::string path_;
   fs::FsFile file_;
   Offset cursor_ = 0;
   std::int64_t records_ = 0;
+  std::vector<std::byte> batch_;
+  bool batching_ = false;
 };
 
 /// Journal file name for `rank`'s log of `file` (rank = rank within the

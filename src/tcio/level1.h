@@ -47,6 +47,9 @@ class Level1Buffer {
   }
 
   const std::byte* data() const { return data_.data(); }
+  /// Mutable view for the staging-frame corruption injector only — normal
+  /// code paths must never write the buffer except through put().
+  std::byte* mutableData() { return data_.data(); }
   Bytes size() const { return segment_size_; }
 
   /// Empties the buffer (after its content was shipped to level-2).

@@ -86,20 +86,39 @@ INSTANTIATE_TEST_SUITE_P(Backends, CrcBackendTest,
 
 TEST_P(CrcBackendTest, CorruptionIsDetectedOnRestart) {
   const Backend backend = GetParam();
-  fs::Filesystem fsys(fsCfg());
   const int P = 2;
   const std::int64_t ntrees = 4;
-  mpi::runJob(job(P), [&](mpi::Comm& comm) {
-    dumpCheckpoint(comm, fsys, "c.chk", makeTrees(comm.rank(), P, ntrees),
-                   ntrees, cpCfg(backend));
-  });
-  // Flip one payload byte near the end of the (largest) data region.
-  const std::string victim =
-      backend == Backend::kFilePerProcess ? "c.chk.0" : "c.chk";
-  const Bytes size = fsys.peekSize(victim);
-  std::byte original{};
-  fsys.peek(victim, size - 16, {&original, 1});
-  fsys.pokeByte(victim, size - 16, original ^ std::byte{0x40});
+  auto dump = [&](fs::Filesystem& fsys) {
+    mpi::runJob(job(P), [&](mpi::Comm& comm) {
+      dumpCheckpoint(comm, fsys, "c.chk", makeTrees(comm.rank(), P, ntrees),
+                     ntrees, cpCfg(backend));
+    });
+  };
+  // Pin the stored-block checksum domain off: the corruption must survive to
+  // restart so the checkpoint's own CRC catches it, not FS read-repair.
+  fs::FsConfig fcfg = fsCfg();
+  fcfg.integrity = -1;
+
+  // Count the dump's write calls on a pristine file system (stripe count is
+  // 1, so every call is exactly one OST request)...
+  std::int64_t writes = 0;
+  {
+    fs::Filesystem clean(fcfg);
+    dump(clean);
+    writes = clean.stats().write_requests;
+  }
+  ASSERT_GT(writes, 0);
+
+  // ...then repeat the dump with a seeded stored-block bit flip armed on the
+  // final write — deep in the data region, inside CRC-covered tree payload.
+  fs::Filesystem fsys(fcfg);
+  FaultConfig faults;
+  faults.seed = 20260809;
+  faults.corruptions.push_back(
+      {/*rank=*/-1, CorruptSite::kStoredBlock, /*after=*/writes - 1});
+  fsys.installFaultPlan(faults);
+  dump(fsys);
+  EXPECT_EQ(fsys.stats().corruptions_injected, 1);
 
   EXPECT_THROW(
       mpi::runJob(job(P),

@@ -235,5 +235,89 @@ TEST(CrashPlanTest, TornBytesDeterministicAndInRange) {
   EXPECT_EQ(plan.tornBytes(0), 0);
 }
 
+TEST(CorruptionPlanTest, FiresExactlyOnceAtScheduledOccurrence) {
+  FaultConfig cfg;
+  cfg.corruptions.push_back(
+      {/*rank=*/2, CorruptSite::kWindow, /*after=*/2});
+  CorruptionPlan plan(cfg, /*rank=*/2);
+  EXPECT_TRUE(plan.armed());
+  EXPECT_FALSE(plan.fires(CorruptSite::kStagingFrame));  // other sites
+  EXPECT_FALSE(plan.fires(CorruptSite::kWindow));  // occurrence 0
+  EXPECT_FALSE(plan.fires(CorruptSite::kWindow));  // occurrence 1
+  EXPECT_TRUE(plan.fires(CorruptSite::kWindow));   // occurrence 2: flips
+  EXPECT_FALSE(plan.fires(CorruptSite::kWindow));  // already fired
+}
+
+TEST(CorruptionPlanTest, ScheduleFiltersByRank) {
+  FaultConfig cfg;
+  cfg.corruptions.push_back(
+      {/*rank=*/1, CorruptSite::kStagingFrame, /*after=*/0});
+  CorruptionPlan victim(cfg, /*rank=*/1);
+  CorruptionPlan bystander(cfg, /*rank=*/0);
+  EXPECT_TRUE(victim.armed());
+  EXPECT_FALSE(bystander.armed());
+  EXPECT_FALSE(bystander.fires(CorruptSite::kStagingFrame));
+  EXPECT_TRUE(victim.fires(CorruptSite::kStagingFrame));
+}
+
+TEST(CorruptionPlanTest, FlipBitChangesExactlyOneBitDeterministically) {
+  FaultConfig cfg;
+  cfg.seed = 33;
+  const auto draw = [&cfg](Rank rank) {
+    CorruptionPlan plan(cfg, rank);
+    std::vector<std::byte> buf(256, std::byte{0});
+    const std::int64_t off = plan.flipBit(buf);
+    return std::pair(off, buf);
+  };
+  const auto [off_a, buf_a] = draw(0);
+  const auto [off_b, buf_b] = draw(0);
+  EXPECT_EQ(off_a, off_b);  // same (seed, rank): same flip
+  EXPECT_EQ(buf_a, buf_b);
+  ASSERT_GE(off_a, 0);
+  ASSERT_LT(off_a, 256);
+  int changed_bytes = 0;
+  for (std::size_t i = 0; i < buf_a.size(); ++i) {
+    if (buf_a[i] != std::byte{0}) {
+      ++changed_bytes;
+      EXPECT_EQ(static_cast<std::size_t>(off_a), i);
+      const auto v = std::to_integer<unsigned>(buf_a[i]);
+      EXPECT_EQ(v & (v - 1), 0u);  // exactly one bit set
+    }
+  }
+  EXPECT_EQ(changed_bytes, 1);
+  // Rank-salted stream: a different rank flips elsewhere (or another bit).
+  const auto [off_c, buf_c] = draw(5);
+  EXPECT_TRUE(off_c != off_a || buf_c != buf_a);
+}
+
+TEST(CorruptionPlanTest, FlipBitOnEmptyBufferIsANoOp) {
+  CorruptionPlan plan(FaultConfig{}, /*rank=*/0);
+  std::vector<std::byte> empty;
+  EXPECT_EQ(plan.flipBit(empty), -1);
+}
+
+TEST(CorruptionPlanTest, ArmingDoesNotPerturbFaultPlanStreams) {
+  // The corruption stream is salted separately: arming bit flips must not
+  // shift the transient-fault schedule of a clean run (determinism parity).
+  FaultConfig clean;
+  clean.enabled = true;
+  clean.seed = 11;
+  clean.fs_transient_write_rate = 0.25;
+  FaultConfig armed = clean;
+  armed.corruptions.push_back(
+      {/*rank=*/-1, CorruptSite::kStoredBlock, /*after=*/0});
+  const auto draws = [](const FaultConfig& cfg) {
+    FaultPlan plan(cfg, FaultPlan::kFsSalt);
+    std::vector<int> out;
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(
+          static_cast<int>(plan.nextFsRequest(FaultPlan::FsVerb::kWrite,
+                                              i % 4, 0.0)));
+    }
+    return out;
+  };
+  EXPECT_EQ(draws(clean), draws(armed));
+}
+
 }  // namespace
 }  // namespace tcio

@@ -93,7 +93,7 @@ TEST(JournalTest, TornAtZeroBytesLeavesNoTrace) {
   });
 }
 
-TEST(JournalTest, CorruptPayloadFailsCrcAndStopsScan) {
+TEST(JournalTest, CorruptPayloadDroppedAndScanContinues) {
   const auto p0 = payload(48, 6);
   std::vector<std::byte> raw;
   {
@@ -114,10 +114,43 @@ TEST(JournalTest, CorruptPayloadFailsCrcAndStopsScan) {
   }
   raw[static_cast<std::size_t>(Journal::kHeaderBytes) + 5] ^= std::byte{0x40};
   const Journal::Parsed parsed = Journal::parse(raw);
-  // First frame's payload is corrupt: CRC rejects it and the scan stops —
-  // record 2 is unreachable (appends are sequential, so a bad frame means
-  // everything after it is suspect).
-  EXPECT_TRUE(parsed.records.empty());
+  // First frame's body is corrupt but its framing is intact: a silent bit
+  // flip, not a torn append. The record is dropped, counted as corrupt, and
+  // the scan continues — the second record is still replayable.
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].seg, 1);
+  EXPECT_EQ(parsed.records[0].payload, p0);
+  EXPECT_EQ(parsed.corrupt_records, 1);
+  EXPECT_EQ(parsed.torn_records, 0);
+  EXPECT_EQ(parsed.bytes_replayable, 48);
+}
+
+TEST(JournalTest, CorruptThenTornCountsBothAndKeepsIntactPrefix) {
+  const auto p0 = payload(40, 9);
+  std::vector<std::byte> raw;
+  {
+    fs::Filesystem fsys(fsCfg());
+    mpi::JobConfig jc;
+    jc.num_ranks = 1;
+    mpi::runJob(jc, [&](mpi::Comm& comm) {
+      fs::FsClient fc(fsys, comm.proc());
+      Journal j(fc, "y.wal.0");
+      j.append(0, 0, p0);                         // intact
+      j.append(1, 8, p0);                         // will be bit-flipped
+      j.append(2, 16, p0, /*torn_prefix=*/12);    // torn mid-append
+      fs::FsFile f = fc.open("y.wal.0", fs::kRead);
+      raw.resize(static_cast<std::size_t>(fc.size(f)));
+      fc.pread(f, 0, raw.data(), static_cast<Bytes>(raw.size()));
+      fc.close(f);
+    });
+  }
+  const auto frame = static_cast<std::size_t>(Journal::kHeaderBytes) + 40;
+  raw[frame + static_cast<std::size_t>(Journal::kHeaderBytes) + 3] ^=
+      std::byte{0x01};
+  const Journal::Parsed parsed = Journal::parse(raw);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].seg, 0);
+  EXPECT_EQ(parsed.corrupt_records, 1);
   EXPECT_EQ(parsed.torn_records, 1);
 }
 

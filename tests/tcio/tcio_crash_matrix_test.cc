@@ -341,6 +341,83 @@ TEST(TcioCrashRecoveryTest, MidCloseCrashRecoversByteIdentical) {
   }
 }
 
+// Context-reservation renewal: more sequential shrink events than one
+// reserved block (kMaxShrinks) covers. Nine victims die at nine *distinct*
+// collective rounds — nine shrinks — so the job must renew its reservation
+// from the survivor set mid-flight. Every victim byte was journaled before
+// the first death, so the final file must come back byte-identical.
+TEST(TcioShrinkRenewalTest, SurvivesMoreShrinksThanOneReservation) {
+  constexpr int P = 32;
+  constexpr int kVictims = 9;
+  static_assert(kVictims > File::kMaxShrinks,
+                "the test must outlive one reservation block");
+  constexpr std::int64_t kSpr = 2;
+  constexpr Bytes kRegion = kSegment * kSpr;
+  constexpr Bytes kFileBytes = kRegion * P;
+
+  fs::FsConfig fcfg;
+  fcfg.num_osts = 3;
+  fcfg.stripe_size = kSegment;
+  fs::Filesystem fsys(fcfg);
+
+  TcioConfig cfg;
+  cfg.segment_size = kSegment;
+  cfg.segments_per_rank = kSpr;
+  cfg.crash.enabled = true;
+  cfg.faults.seed = 11;
+  for (int j = 0; j < kVictims; ++j) {
+    // Victim j dies entering flush round j+2: round 1 journaled every byte,
+    // and one death per round makes each one a separate shrink event.
+    cfg.faults.crashes.push_back({static_cast<Rank>(P - kVictims + j),
+                                  CrashPoint::kAtCollective,
+                                  /*after=*/1 + j});
+  }
+
+  mpi::JobConfig jc;
+  jc.num_ranks = P;
+  jc.net.ranks_per_node = 4;
+  std::array<std::int32_t, P> outcome{};
+  std::array<std::int64_t, P> deaths_seen{};
+  mpi::runJob(jc, [&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    mpi::CapturedError err;
+    File f(comm, fsys, "renew.dat", fs::kWrite | fs::kCreate, cfg);
+    try {
+      std::vector<std::byte> buf(static_cast<std::size_t>(kRegion));
+      for (Bytes i = 0; i < kRegion; ++i) {
+        buf[static_cast<std::size_t>(i)] = expected(r * kRegion + i);
+      }
+      f.writeAt(r * kRegion, buf.data(), kRegion);
+      for (int round = 0; round < kVictims + 1; ++round) f.flush();
+      f.close();
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
+    outcome[static_cast<std::size_t>(r)] = err.code;
+    deaths_seen[static_cast<std::size_t>(r)] =
+        f.stats().degraded.ranks_crashed;
+  });
+
+  for (int r = 0; r < P; ++r) {
+    if (r >= P - kVictims) {
+      EXPECT_EQ(outcome[static_cast<std::size_t>(r)],
+                mpi::CapturedError::kRankCrashed)
+          << "victim " << r;
+    } else {
+      EXPECT_EQ(outcome[static_cast<std::size_t>(r)], 0) << "survivor " << r;
+      EXPECT_EQ(deaths_seen[static_cast<std::size_t>(r)], kVictims)
+          << "survivor " << r << " missed a shrink event";
+    }
+  }
+  ASSERT_EQ(fsys.peekSize("renew.dat"), kFileBytes);
+  std::vector<std::byte> got(static_cast<std::size_t>(kFileBytes));
+  fsys.peek("renew.dat", 0, got);
+  for (Offset off = 0; off < kFileBytes; ++off) {
+    ASSERT_EQ(got[static_cast<std::size_t>(off)], expected(off))
+        << "byte " << off << " lost across renewed shrinks";
+  }
+}
+
 // MDS open/close faults (the new FaultPlan class) are absorbed by the
 // FsClient retry loops; with retries exhausted the typed error surfaces
 // identically on every rank.

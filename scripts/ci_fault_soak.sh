@@ -22,9 +22,20 @@
 # replay journals, and unwind through typed IntegrityErrors, exactly where a
 # lifetime bug would hide from the healthy-path suite.
 #
+# A fourth leg per seed runs the composed chaos harness (DESIGN.md §8.2):
+# TCIO_CHAOS_SEEDS drawn ChaosPlans — crash cascades (incl. mid-recovery),
+# transient EIO, stragglers, corruption, node aggregation, composed — each
+# checked against the shadow-run invariant oracle. The seed window advances
+# with the soak seed so the whole sweep covers SEEDS×TCIO_CHAOS_SEEDS distinct
+# plans. A red plan is greedily minimized and the one-line reproducer is in
+# the log. One extra ASan+UBSan chaos pass runs after the loop, because the
+# composition is exactly where cross-feature lifetime bugs hide (it caught
+# the node-agg × crash-shrink teardown use-after-free).
+#
 #   TCIO_FAULT_SEEDS    number of seeds to sweep (default 20)
 #   TCIO_SOAK_TIMEOUT   per-seed wall-clock limit in seconds (default 300)
 #   TCIO_SOAK_DELEGATES delegate count for the delegate leg (default 2)
+#   TCIO_SOAK_CHAOS     chaos plans per soak seed (default 10)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,11 +44,12 @@ LIMIT=${TCIO_SOAK_TIMEOUT:-300}
 BUILD=${TCIO_SOAK_BUILD:-build}
 SAN_BUILD=${TCIO_SOAK_SAN_BUILD:-build-asan}
 DELEGATES=${TCIO_SOAK_DELEGATES:-2}
+CHAOS=${TCIO_SOAK_CHAOS:-10}
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j "$(nproc)" --target test_tcio test_delegate
+cmake --build "$BUILD" -j "$(nproc)" --target test_tcio test_delegate test_chaos
 cmake -B "$SAN_BUILD" -S . -DTCIO_SANITIZE=ON >/dev/null
-cmake --build "$SAN_BUILD" -j "$(nproc)" --target test_tcio
+cmake --build "$SAN_BUILD" -j "$(nproc)" --target test_tcio test_chaos
 
 fails=0
 hangs=0
@@ -70,7 +82,19 @@ for ((seed = 1; seed <= SEEDS; seed++)); do
     'TcioIntegrity|TcioStoredBlock|TcioJournalBody|DelegateIntegrity' \
     TCIO_FAULT_SEED="$seed" TCIO_CHECK=1 TCIO_INTEGRITY=1 \
     ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1
+  run_leg chaos "$seed" "/tmp/fault_soak_chaos_$seed.log" "$BUILD" \
+    'ChaosSoakTest' \
+    TCIO_CHAOS_SEEDS="$CHAOS" TCIO_CHAOS_SEED_BASE="$(( (seed - 1) * CHAOS + 1 ))" \
+    TCIO_CHAOS_INTEGRITY="$((seed % 2))"
 done
+
+# One sanitizer pass over the full chaos suite (plan round-trip, oracle,
+# minimizer, soak) — composed fault schedules are where teardown-ordering
+# and lifetime bugs live.
+run_leg chaos-asan san "/tmp/fault_soak_chaos_asan.log" "$SAN_BUILD" \
+  'Chaos' \
+  TCIO_CHAOS_SEEDS="$CHAOS" TCIO_CHAOS_INTEGRITY=1 \
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1
 
 echo "fault soak: $SEEDS seeds, $fails failures, $hangs hangs"
 [ "$fails" -eq 0 ] && [ "$hangs" -eq 0 ]

@@ -50,8 +50,10 @@ bool Checker::enabled() {
 Checker::Checker(int world_size)
     : world_size_(world_size),
       labels_(static_cast<std::size_t>(world_size)),
+      user_tags_(static_cast<std::size_t>(world_size)),
       waits_(static_cast<std::size_t>(world_size)) {
   for (auto& l : labels_) l.store(nullptr, std::memory_order_relaxed);
+  for (auto& t : user_tags_) t.store(kNoUserTag, std::memory_order_relaxed);
   registerComm(/*context=*/0, world_size);
 }
 
@@ -62,6 +64,16 @@ void Checker::setLabel(Rank world_rank, const char* label) {
 
 const char* Checker::label(Rank world_rank) const {
   return labels_[static_cast<std::size_t>(world_rank)].load(
+      std::memory_order_relaxed);
+}
+
+void Checker::setUserTag(Rank world_rank, std::int64_t tag) {
+  user_tags_[static_cast<std::size_t>(world_rank)].store(
+      tag, std::memory_order_relaxed);
+}
+
+std::int64_t Checker::userTag(Rank world_rank) const {
+  return user_tags_[static_cast<std::size_t>(world_rank)].load(
       std::memory_order_relaxed);
 }
 
@@ -115,9 +127,10 @@ void Checker::onCollective(int context, Rank comm_rank, Rank world_rank,
   }
   const std::int64_t k = c.next_call[static_cast<std::size_t>(comm_rank)]++;
   const std::int64_t idx = k - c.base;
+  const std::int64_t tag = userTag(world_rank);
   ++stats_.collectives_checked;
   if (idx == static_cast<std::int64_t>(c.sigs.size())) {
-    c.sigs.push_back(CollSig{op, root, bytes, site, label(world_rank),
+    c.sigs.push_back(CollSig{op, root, bytes, tag, site, label(world_rank),
                              world_rank});
     // Retire the prefix every rank has passed.
     if (idx >= kSigCompactionThreshold) {
@@ -132,7 +145,22 @@ void Checker::onCollective(int context, Rank comm_rank, Rank world_rank,
     return;
   }
   const CollSig& ref = c.sigs[static_cast<std::size_t>(idx)];
-  if (ref.op == op && ref.root == root && ref.bytes == bytes) return;
+  if (ref.op == op && ref.root == root && ref.bytes == bytes) {
+    // MPI-level signature matches; verify the application phase too. An
+    // untagged side matches anything (legacy callers, MPI-internal paths).
+    if (ref.tag == kNoUserTag || tag == kNoUserTag) return;
+    ++stats_.tags_checked;
+    if (ref.tag == tag) return;
+    std::ostringstream os;
+    os << "user tag mismatch on context " << context << ", call #" << k
+       << ": rank " << comm_rank << " (world " << world_rank << ") entered "
+       << collOpName(op) << " tagged " << tag << " (actual) at " << site;
+    appendLabel(os, label(world_rank));
+    os << ", but world rank " << ref.first_world_rank << " recorded tag "
+       << ref.tag << " (expected) at " << ref.site;
+    appendLabel(os, ref.label);
+    fail(os.str());
+  }
   std::ostringstream os;
   os << "collective mismatch on context " << context << ", call #" << k
      << ": rank " << comm_rank << " (world " << world_rank << ") called "

@@ -43,6 +43,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -87,6 +88,7 @@ inline constexpr Bytes kUncheckedBytes = -1;
 /// hooks actually fired) while `violations` stayed zero.
 struct CheckerStats {
   std::int64_t collectives_checked = 0;
+  std::int64_t tags_checked = 0;  // collectives where both ranks were tagged
   std::int64_t epochs_opened = 0;
   std::int64_t puts_checked = 0;
   std::int64_t benign_overlaps = 0;
@@ -111,6 +113,20 @@ class Checker {
   /// Pointer must outlive the scope; use ScopedLabel. Lock-free.
   void setLabel(Rank world_rank, const char* label);
   const char* label(Rank world_rank) const;
+
+  // -- Per-rank user tags (application-phase collective verification) ---------
+
+  /// No-tag sentinel: an untagged rank matches any tag.
+  static constexpr std::int64_t kNoUserTag =
+      std::numeric_limits<std::int64_t>::min();
+
+  /// Sets rank `r`'s current application tag (e.g. a timestep or flush
+  /// ordinal). Collective matching then verifies call #k carries the same
+  /// tag on every tagged rank — catching desynchronized application phases
+  /// whose MPI-level signatures (op/root/bytes) still happen to line up.
+  /// Use ScopedUserTag. Lock-free.
+  void setUserTag(Rank world_rank, std::int64_t tag);
+  std::int64_t userTag(Rank world_rank) const;
 
   // -- Collective matching ----------------------------------------------------
 
@@ -220,6 +236,7 @@ class Checker {
     CollOp op;
     Rank root;
     Bytes bytes;
+    std::int64_t tag;  // recorder's user tag (kNoUserTag when untagged)
     const char* site;
     const char* label;
     Rank first_world_rank;
@@ -280,6 +297,7 @@ class Checker {
 
   int world_size_;
   std::vector<std::atomic<const char*>> labels_;
+  std::vector<std::atomic<std::int64_t>> user_tags_;
   std::map<int, CommRec> comms_;
   std::map<std::pair<const void*, Rank>, std::map<Rank, EpochRec>> epochs_;
   std::map<std::string, FileRec> files_;
@@ -310,6 +328,31 @@ class ScopedLabel {
   Checker* ck_;
   Rank rank_;
   const char* prev_ = nullptr;
+};
+
+/// RAII user tag: stamps every collective a rank enters inside the scope
+/// with an application-level phase id (timestep, flush ordinal, ...) so the
+/// matching verifier can attribute a divergence to the application phase,
+/// not just the MPI primitive. Null checker is a no-op.
+class ScopedUserTag {
+ public:
+  ScopedUserTag(Checker* ck, Rank world_rank, std::int64_t tag)
+      : ck_(ck), rank_(world_rank) {
+    if (ck_ != nullptr) {
+      prev_ = ck_->userTag(rank_);
+      ck_->setUserTag(rank_, tag);
+    }
+  }
+  ~ScopedUserTag() {
+    if (ck_ != nullptr) ck_->setUserTag(rank_, prev_);
+  }
+  ScopedUserTag(const ScopedUserTag&) = delete;
+  ScopedUserTag& operator=(const ScopedUserTag&) = delete;
+
+ private:
+  Checker* ck_;
+  Rank rank_;
+  std::int64_t prev_ = Checker::kNoUserTag;
 };
 
 }  // namespace tcio::check

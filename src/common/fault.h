@@ -34,6 +34,9 @@ enum class CrashPoint {
   kMidRma,        // after level-1 state is built but before its RMA epoch
   kMidJournal,    // mid journal append: a torn record is left behind
   kMidClose,      // during the close-time drain, between segment writes
+  kMidRecovery,   // inside recovery itself: an adopter dies mid-WAL-replay
+                  // (per adopted segment in File::replayOrphans; per
+                  // re-appended record — torn — in delegate adoptShard)
 };
 
 /// One scheduled fail-stop crash: rank `rank` dies at the `after`-th

@@ -503,23 +503,36 @@ void Server::serveAdopt(Pending& p) {
   // runs, so when adjacent delegates die in the same agreement round the
   // adopter scan skips both and the shard lands on a live delegate.
   // Interleaving mark and adopt would hand d's shard to the also-dead d+1.
-  std::vector<int> newly_dead;
+  std::set<int> fresh;
   for (const WireExtent& e : p.extents) {
     const int dead = static_cast<int>(e.seg);
     if (dead == me_) die();  // peers agreed I'm dead: self-fence
     if (s_->isDead(dead)) continue;
     s_->markDead(dead);
     ++stats_.delegates_crashed;
-    newly_dead.push_back(dead);
+    death_order_.push_back(dead);
+    fresh.insert(dead);
   }
-  for (const int dead : newly_dead) {
-    if (s_->adopterOf(dead) == me_) adoptShard(dead);
+  // Chain scan: adopt every dead delegate whose shard currently falls to
+  // this server and whose WAL it has not replayed yet — not just this
+  // round's victims. When an ADOPTER dies (possibly mid-re-append, leaving a
+  // torn copy in its own WAL), the delegates it had adopted re-route to the
+  // next live adopter, which must replay their ORIGINAL journals: the dead
+  // adopter's WAL alone cannot be trusted to carry the chain. Replay runs in
+  // death order so a record's gen n+1 copy always lands after its original;
+  // duplicate applications are byte-identical and therefore idempotent.
+  for (const int dead : death_order_) {
+    if (s_->adopterOf(dead) != me_) continue;
+    if (my_adopted_.count(dead) != 0) continue;
+    if (fresh.count(dead) == 0) ++stats_.shards_readopted;
+    adoptShard(dead);
   }
   reply(p.h.client, p.h.seq, ReplyKind::kAdoptDone);
 }
 
 void Server::adoptShard(int dead) {
   ++stats_.shards_adopted;
+  my_adopted_.insert(dead);
   check::Checker* ck = comm_->world().checker();
   for (auto& [key, f] : files_) {
     if (f.name.empty()) continue;
@@ -528,23 +541,40 @@ void Server::adoptShard(int dead) {
     }
     const core::Journal::Parsed parsed =
         core::Journal::readAndParse(client_, core::journalPath(f.name, dead));
-    stats_.journal_records_replayed +=
-        static_cast<std::int64_t>(parsed.records.size());
     if (parsed.records.empty()) continue;
     if (!f.drained) {
       // Replay into the shard buffers; the coming drain writes them out.
-      // Each record is re-appended to this delegate's own WAL first: if the
-      // adopter also dies before the drain, the next adopter replays only
-      // the adopter's journal (serveAdopt never revisits already-dead
-      // delegates), so the chain of acknowledged puts must be carried
-      // forward in it.
+      // Each record is re-appended to this delegate's own WAL (generation
+      // bumped) so verifySegment's corruption repair can replay adopted
+      // bytes from the local journal. Chain durability does NOT depend on
+      // these copies: serveAdopt's death-order scan re-replays the original
+      // owners' journals at the next adopter, so a death right here — torn
+      // copy and all — loses nothing.
       if (f.journal == nullptr) {
         f.journal = std::make_unique<core::Journal>(
             client_, core::journalPath(f.name, me_));
       }
       f.journal->batchBegin();  // one device write for the adopted log
       for (const core::Journal::Record& r : parsed.records) {
-        f.journal->append(r.seg, r.disp, r.payload);
+        // Adopted copies (gen > 0) are not applied here: the death-order
+        // chain scan replays the ORIGINAL owner's journal at whichever live
+        // server that shard routes to, and applying the copy too would
+        // double-drain the segment.
+        if (r.gen > 0) continue;
+        ++stats_.journal_records_replayed;
+        if (crash_plan_ != nullptr &&
+            crash_plan_->fires(CrashPoint::kMidRecovery)) {
+          // Cascade: the adopter dies mid-re-append. The copy tears in this
+          // WAL and the parse scan at the NEXT adopter drops it.
+          const std::int64_t frame_len =
+              core::Journal::kHeaderBytes +
+              static_cast<std::int64_t>(r.payload.size());
+          f.journal->append(r.seg, r.disp, r.payload,
+                            crash_plan_->tornBytes(frame_len), r.gen + 1);
+          die();
+        }
+        f.journal->append(r.seg, r.disp, r.payload, /*torn_prefix=*/-1,
+                          r.gen + 1);
         SegBuf& sb = segBuf(f, r.seg);
         std::memcpy(sb.data.data() + r.disp, r.payload.data(),
                     r.payload.size());
@@ -570,6 +600,8 @@ void Server::adoptShard(int dead) {
       std::map<SegmentId, std::pair<std::vector<std::byte>,
                                     std::vector<Extent>>> segs;
       for (const core::Journal::Record& r : parsed.records) {
+        if (r.gen > 0) continue;  // copies: the chain scan replays originals
+        ++stats_.journal_records_replayed;
         auto& [data, exts] = segs[r.seg];
         if (data.empty()) {
           data.assign(static_cast<std::size_t>(s_->config().segment_size),
@@ -625,15 +657,54 @@ void Server::chargeChecksum(Bytes n) {
 void Server::ledgerInsert(SegBuf& sb, Offset disp, Bytes len,
                           std::uint32_t crc) {
   const Offset end = disp + len;
+  // Evict any run whose envelope the new extent overlaps: last writer wins,
+  // and a run's streamed CRC cannot survive a partial rewrite anyway.
   for (auto it = sb.ledger.begin(); it != sb.ledger.end();) {
     const Offset b = it->first;
-    if (b < end && disp < b + it->second.len) {
+    const LedgerEntry& ent = it->second;
+    const Offset ent_end =
+        b + static_cast<Offset>(ent.stride) * (ent.count - 1) + ent.len;
+    if (b < end && disp < ent_end) {
       it = sb.ledger.erase(it);
     } else {
       ++it;
     }
   }
-  sb.ledger[disp] = {len, crc};
+  // Coalesce with the predecessor run when the geometry fits exactly — the
+  // delegate-side mirror of File::digestLevel1: a contiguous neighbour
+  // extends a single piece, an equal-length piece at a constant stride joins
+  // the run, and the CRC streams over the just-applied (verified-clean)
+  // shard bytes. Must run after the extent's memcpy into sb.data.
+  const auto up = sb.ledger.upper_bound(disp);
+  if (up != sb.ledger.begin()) {
+    const auto prev = std::prev(up);
+    LedgerEntry& run = prev->second;
+    const std::span<const std::byte> bytes{sb.data.data() + disp,
+                                           static_cast<std::size_t>(len)};
+    if (run.count == 1 && run.stride == 0 &&
+        disp == prev->first + static_cast<Offset>(run.len)) {
+      run.len += len;
+      run.crc = crc32(bytes, run.crc);
+      return;
+    }
+    if (len == run.len) {
+      if (run.count == 1 && disp > prev->first &&
+          disp - prev->first <= 0xffffffff) {
+        run.stride = static_cast<std::uint32_t>(disp - prev->first);
+        run.count = 2;
+        run.crc = crc32(bytes, run.crc);
+        return;
+      }
+      if (run.count >= 2 &&
+          disp == prev->first + static_cast<Offset>(run.stride) *
+                                    static_cast<Offset>(run.count)) {
+        ++run.count;
+        run.crc = crc32(bytes, run.crc);
+        return;
+      }
+    }
+  }
+  sb.ledger[disp] = {len, /*stride=*/0, /*count=*/1, crc};
 }
 
 void Server::verifySegment(FileState& f, SegmentId g, SegBuf& sb) {
@@ -643,9 +714,16 @@ void Server::verifySegment(FileState& f, SegmentId g, SegBuf& sb) {
     Bytes checked = 0;
     for (const auto& [disp, ent] : sb.ledger) {
       if (count) ++stats_.crc_checks;
-      checked += ent.len;
-      if (crc32({sb.data.data() + disp, static_cast<std::size_t>(ent.len)}) !=
-          ent.crc) {
+      // Re-stream the CRC across the run's pieces in the order it was built.
+      std::uint32_t acc = 0;
+      for (std::uint32_t k = 0; k < ent.count; ++k) {
+        const Offset piece = disp + static_cast<Offset>(ent.stride) * k;
+        acc = crc32({sb.data.data() + piece,
+                     static_cast<std::size_t>(ent.len)},
+                    acc);
+        checked += ent.len;
+      }
+      if (acc != ent.crc) {
         if (count) ++stats_.crc_mismatches;
         ok = false;
       }

@@ -29,6 +29,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -62,11 +63,17 @@ class Server {
     int retries = 0;         // kPutRetry rounds already spent on this put
   };
 
-  /// One digest the shard ledger holds for an extent starting at some
-  /// in-segment displacement (integrity pipeline only).
+  /// One digest the shard ledger holds — a *run* of `count` equal-length
+  /// pieces at a constant `stride` from the keyed displacement (count == 1,
+  /// stride == 0: a single extent). Mirrors File::digestLevel1's coalescing
+  /// so fine-grained interleaved put streams (Fig. 5 patterns funneled
+  /// through a delegate) don't cost one ledger entry per element. `crc`
+  /// streams across the pieces in ascending order (integrity pipeline only).
   struct LedgerEntry {
-    Bytes len = 0;
-    std::uint32_t crc = 0;
+    Bytes len = 0;             // bytes per piece
+    std::uint32_t stride = 0;  // piece-to-piece displacement (0: single)
+    std::uint32_t count = 1;   // pieces in the run
+    std::uint32_t crc = 0;     // streamed across the pieces
   };
 
   /// Per-segment shard buffer (the delegate-owned slice of level 2).
@@ -143,6 +150,14 @@ class Server {
   bool integrity_on_ = false;
   int me_;  // delegate index == session rank
 
+  /// Agreed delegate deaths, oldest first. Replaying adopted WALs in death
+  /// order keeps cascaded recovery deterministic: a record's re-appended
+  /// copy (gen n+1) always lands after its original in every survivor's
+  /// replay, so last-writer-wins resolves identically everywhere.
+  std::vector<int> death_order_;
+  /// Dead delegates whose journal this server has already replayed — the
+  /// chain scan in serveAdopt() is re-entrant across agreement rounds.
+  std::set<int> my_adopted_;
   std::map<std::uint64_t, FileState> files_;
   std::map<int, std::deque<Pending>> queues_;
   std::int64_t data_queued_ = 0;

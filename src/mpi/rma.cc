@@ -68,6 +68,21 @@ Bytes Window::localSize() const {
       state_->mem[static_cast<std::size_t>(comm_->rank())].size());
 }
 
+void Window::resizeLocal(Bytes new_size) {
+  TCIO_CHECK(new_size >= 0);
+  const Bytes old_size = localSize();
+  if (new_size == old_size) return;
+  comm_->proc().atomic([&] {
+    state_->mem[static_cast<std::size_t>(comm_->rank())].resize(
+        static_cast<std::size_t>(new_size));
+  });
+  if (new_size > old_size) {
+    comm_->memory().allocate(new_size - old_size, "RMA window growth");
+  } else {
+    comm_->memory().release(old_size - new_size);
+  }
+}
+
 detail::TargetLock& Window::targetLock(Rank target) {
   TCIO_CHECK_MSG(target >= 0 && target < comm_->size(),
                  "lock target out of range");

@@ -33,6 +33,16 @@ class Window {
   std::byte* localData();
   Bytes localSize() const;
 
+  /// Non-collective, local-only resize of this rank's window memory
+  /// (existing bytes are preserved; growth is zero-filled). Legal because
+  /// every RMA access bounds-checks the *target's* current size at access
+  /// time inside the origin's atomic section — there is no cached remote
+  /// size to invalidate. Callers that change the window's layout (TCIO's
+  /// takeover-capacity growth) must themselves guarantee no peer addresses
+  /// the old layout after the resize; TCIO does so by growing every
+  /// survivor inside the same agreed recovery step.
+  void resizeLocal(Bytes new_size);
+
   /// Acquire the (window, target) lock. Blocks until granted; charges the
   /// request/grant control round-trip.
   void lock(LockType type, Rank target);

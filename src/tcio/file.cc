@@ -37,8 +37,8 @@ File::File(mpi::Comm& comm, fs::Filesystem& fsys, const std::string& name,
       flags_(flags),
       cfg_(cfg),
       map_(cfg.segment_size, comm.size()),
-      flags_region_((cfg.crash.enabled ? 2 : 1) * cfg.segments_per_rank *
-                    kFlagBytes),
+      slot_cap_((cfg.crash.enabled ? 2 : 1) * cfg.segments_per_rank),
+      flags_region_(slot_cap_ * kFlagBytes),
       level1_(cfg.segment_size),
       orig_rank_(comm.rank()),
       orig_size_(comm.size()) {
@@ -154,6 +154,14 @@ File::~File() {
       // unwind time is already a failed simulation.
     }
   }
+  // A crashed (or failed-close) rank unwinds with the node-aggregation layer
+  // still built over a shrunk communicator owned by shrunk_comms_. Members
+  // destroy in reverse declaration order, which would free those comms
+  // before the aggregator's destructor releases its staging window through
+  // them — tear the aggregation layer down explicitly while its
+  // communicator is still alive.
+  node_agg_.reset();
+  node_map_.reset();
 }
 
 // -- Writes -------------------------------------------------------------------
@@ -675,6 +683,11 @@ void File::flush() {
   TCIO_CHECK_MSG(open_, "flush on closed TCIO file");
   check::ScopedLabel phase(comm_->world().checker(), comm_->proc().rank(),
                            "File::flush");
+  // Tag every collective inside this flush with its ordinal: collective
+  // matching then attributes a divergence to the application phase ("rank 3
+  // is still in flush #4") even when the MPI signatures happen to line up.
+  check::ScopedUserTag tag(comm_->world().checker(), comm_->proc().rank(),
+                           flush_calls_++);
   maybeCorruptWindow();
   if (cfg_.crash.enabled) {
     crashPoint(CrashPoint::kAtCollective);
@@ -1449,6 +1462,34 @@ std::vector<std::pair<SegmentId, std::int64_t>> File::ownedSlots() const {
   return out;
 }
 
+void File::growTakeoverCapacity(std::int64_t new_cap) {
+  TCIO_CHECK(new_cap > slot_cap_);
+  const Bytes old_flags = flags_region_;
+  const Bytes new_flags = new_cap * kFlagBytes;
+  window_->resizeLocal(new_flags + new_cap * cfg_.segment_size);
+  // Relocate the data slots to their new displacements, high to low: slot
+  // s's new start (new_flags + s*S) is strictly above its old start
+  // (old_flags + s*S) and strictly below slot s+1's old start once s+1 has
+  // already moved, so the moves never clobber unmoved data. Flag bytes stay
+  // put — flagsDisp is capacity-independent — and the region the growth
+  // opened between the old and new flag boundaries is cleared (the new
+  // slots' flags must read as clean/non-resident).
+  comm_->proc().atomic([&] {
+    std::byte* mem = window_->localData();
+    for (std::int64_t s = slot_cap_ - 1; s >= 0; --s) {
+      std::memmove(mem + new_flags + s * cfg_.segment_size,
+                   mem + old_flags + s * cfg_.segment_size,
+                   static_cast<std::size_t>(cfg_.segment_size));
+    }
+    std::memset(mem + old_flags, 0,
+                static_cast<std::size_t>(new_flags - old_flags));
+  });
+  comm_->chargeCopy(slot_cap_ * cfg_.segment_size);  // the relocation pass
+  slot_cap_ = new_cap;
+  flags_region_ = new_flags;
+  ++stats_.degraded.window_remaps;
+}
+
 void File::die(const char* where) {
   // Fail-stop: this rank is gone. Closing the handle here keeps the
   // destructor from attempting the collective close sequence mid-unwind;
@@ -1467,6 +1508,7 @@ void File::crashPoint(CrashPoint point) {
     case CrashPoint::kMidRma: die("between journal append and RMA epoch");
     case CrashPoint::kMidJournal: die("mid journal append");
     case CrashPoint::kMidClose: die("mid close drain");
+    case CrashPoint::kMidRecovery: die("mid recovery replay");
   }
   die("unknown crash point");
 }
@@ -1609,6 +1651,28 @@ void File::handleDeaths(const std::vector<Rank>& dead_cur) {
       if (t.owner == d) orphan_segs.push_back(g);  // transitive reassignment
     }
   }
+  // Capacity pre-pass: simulate the round-robin assignment this batch is
+  // about to make. When any survivor's spare slots would run out, every
+  // survivor grows its window to the doubled capacity that fits — a
+  // collective window-remap round computed from agreed state, so no rank
+  // ever addresses a peer's old layout afterwards. Spare capacity is thus
+  // elastic: crash tolerance survives arbitrarily many deaths, not just the
+  // statically doubled slot budget.
+  {
+    std::vector<std::int64_t> spare = next_spare_;
+    std::int64_t rr = takeover_rr_;
+    std::int64_t needed = slot_cap_;
+    for (std::size_t i = 0; i < orphan_segs.size(); ++i) {
+      const Rank owner = live[static_cast<std::size_t>(
+          rr++ % static_cast<std::int64_t>(live.size()))];
+      needed = std::max(needed, ++spare[static_cast<std::size_t>(owner)]);
+    }
+    if (needed > slot_cap_) {
+      std::int64_t cap = slot_cap_;
+      while (cap < needed) cap *= 2;
+      growTakeoverCapacity(cap);
+    }
+  }
   std::vector<std::pair<SegmentId, std::int64_t>> mine;
   for (const SegmentId g : orphan_segs) {
     const Rank owner =
@@ -1616,8 +1680,7 @@ void File::handleDeaths(const std::vector<Rank>& dead_cur) {
                                       static_cast<std::int64_t>(live.size()))];
     const std::int64_t slot = next_spare_[static_cast<std::size_t>(owner)]++;
     TCIO_CHECK_MSG(slot < slotCount(),
-                   "spare takeover slots exhausted — too many crashes for "
-                   "this segments_per_rank");
+                   "takeover slot past grown capacity (pre-pass bug)");
     orphans_[g] = {owner, slot};
     if (owner == orig_rank_) mine.emplace_back(g, slot);
   }
@@ -1685,6 +1748,14 @@ void File::replayOrphans(
   std::byte* local = drained_ ? nullptr : window_->localData();
   std::vector<std::byte> scratch;
   for (const auto& [g, slot] : mine) {
+    // Cascade point: an adopter can die while replaying the very segments
+    // it just adopted. Recovery stays purely rank-local here (the shrink /
+    // context-renewal / node-agg collectives all completed above), so the
+    // survivors' next liveness epoch simply agrees on this death too and
+    // reassigns the orphans transitively — replay re-sources from the
+    // ORIGINAL ranks' journals, so a half-replayed window dies harmlessly
+    // with its adopter and the re-replay is idempotent.
+    crashPoint(CrashPoint::kMidRecovery);
     if (drained_) {
       scratch.assign(static_cast<std::size_t>(cfg_.segment_size),
                      std::byte{0});

@@ -67,6 +67,9 @@ struct TcioDegradedStats {
   /// Segments adopted with journaling off (or after a torn tail): their
   /// buffered-but-unflushed bytes died with the rank. Never silent.
   std::int64_t unjournaled_segments_lost = 0;
+  /// Takeover-capacity growth rounds: every survivor grew its window and
+  /// relocated its data slots because a spare-slot budget was exhausted.
+  std::int64_t window_remaps = 0;
 
   bool any() const {
     return fs_transient_faults != 0 || fs_retries != 0 ||
@@ -74,7 +77,7 @@ struct TcioDegradedStats {
            chunks_rebalanced != 0 || rma_drops != 0 || two_sided_fallback ||
            ranks_crashed != 0 || segments_taken_over != 0 ||
            journal_records_replayed != 0 || journal_torn_records != 0 ||
-           unjournaled_segments_lost != 0;
+           unjournaled_segments_lost != 0 || window_remaps != 0;
   }
 };
 
@@ -93,6 +96,7 @@ struct TcioDelegateStats {
   std::int64_t fs_retries = 0;           // FS retry attempts those cost
   std::int64_t delegates_crashed = 0;    // dead delegates agreed by liveness
   std::int64_t shards_adopted = 0;       // dead delegates whose shard moved here
+  std::int64_t shards_readopted = 0;     // of those, inherited from a dead ADOPTER
   std::int64_t journal_records_replayed = 0;  // WAL records replayed on adopt
   std::int64_t deferred_resubmissions = 0;    // requests rerouted after a death
   // End-to-end integrity at the delegate (TcioConfig::integrity).
@@ -117,6 +121,7 @@ struct TcioDelegateStats {
         delegates_crashed > o.delegates_crashed ? delegates_crashed
                                                 : o.delegates_crashed;
     shards_adopted += o.shards_adopted;
+    shards_readopted += o.shards_readopted;
     journal_records_replayed += o.journal_records_replayed;
     deferred_resubmissions += o.deferred_resubmissions;
     crc_checks += o.crc_checks;
@@ -340,10 +345,19 @@ class File {
   /// without crash tolerance; fails on a dead rank (routing must go through
   /// ownerOf first).
   Rank curOf(Rank orig) const;
-  /// Window slot count: doubled with crash tolerance (spare takeover slots).
-  std::int64_t slotCount() const {
-    return cfg_.segments_per_rank * (cfg_.crash.enabled ? 2 : 1);
-  }
+  /// Current window slot count: starts at segments_per_rank (doubled with
+  /// crash tolerance for spare takeover slots) and grows without bound via
+  /// growTakeoverCapacity when a crash batch needs more spares.
+  std::int64_t slotCount() const { return slot_cap_; }
+
+  /// Window-remap round: grows every slot to `new_cap` on THIS rank — the
+  /// window memory is resized in place, data slots are relocated to their
+  /// new displacements (the flag region in front grows), and the freed flag
+  /// bytes are cleared. Called identically by every survivor inside the same
+  /// agreed recovery step, so all live ranks address the new layout from the
+  /// first post-recovery RMA epoch on; dead ranks' windows keep the old
+  /// layout but are never addressed again.
+  void growTakeoverCapacity(std::int64_t new_cap);
   /// (segment, local slot) pairs this rank owns: its original slots plus
   /// adopted orphans.
   std::vector<std::pair<SegmentId, std::int64_t>> ownedSlots() const;
@@ -441,6 +455,9 @@ class File {
   unsigned flags_;
   TcioConfig cfg_;
   SegmentMap map_;
+  /// Window slots this rank provides (uniform across ranks). Grows at a
+  /// takeover-capacity remap round; flags_region_ tracks it.
+  std::int64_t slot_cap_;
   Bytes flags_region_;
   std::unique_ptr<mpi::Window> window_;
   std::unique_ptr<topo::NodeMap> node_map_;
@@ -455,6 +472,8 @@ class File {
   Bytes local_max_written_ = 0;
   bool open_ = false;
   bool fallback_two_sided_ = false;
+  /// Flush ordinal, used as the checker user tag for phase attribution.
+  std::int64_t flush_calls_ = 0;
   TcioStats stats_;
 
   // -- Integrity state (inert unless integrity_on_) --------------------------

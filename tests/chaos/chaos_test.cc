@@ -1,0 +1,141 @@
+// Composed chaos harness (src/chaos/): seeded soak of composed fault
+// schedules against the invariant oracle, plan-string round trips, a
+// directed cascade (a crash landing inside another crash's recovery), and
+// the greedy schedule minimizer.
+//
+// Knobs: TCIO_CHAOS_SEEDS (seeds per soak leg), TCIO_CHAOS_SEED_BASE (first
+// seed), TCIO_CHAOS_INTEGRITY (arm the checksum pipeline + silent flips).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "chaos/chaos.h"
+#include "common/env.h"
+
+namespace tcio::chaos {
+namespace {
+
+TEST(ChaosPlanTest, StringRoundTripsExactly) {
+  ChaosKnobs k;
+  k.integrity = true;  // exercise the corrupt= list too
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosPlan p = makeChaosPlan(k, seed);
+    const ChaosPlan q = ChaosPlan::parse(p.str());
+    EXPECT_EQ(p.str(), q.str()) << "seed " << seed;
+    EXPECT_EQ(p.crashes.size(), q.crashes.size());
+    EXPECT_EQ(p.corruptions.size(), q.corruptions.size());
+    EXPECT_EQ(p.fs_transient_write_rate, q.fs_transient_write_rate);
+  }
+}
+
+TEST(ChaosPlanTest, DrawIsDeterministicPerSeed) {
+  const ChaosKnobs k;
+  EXPECT_EQ(makeChaosPlan(k, 42).str(), makeChaosPlan(k, 42).str());
+}
+
+// Directed cascade: rank 1 dies entering flush round 1; rank 0 — always the
+// first round-robin adopter — is scheduled to die inside its recovery
+// replay of rank 1's orphaned segments (CrashPoint::kMidRecovery). The
+// survivors must agree on the second death from within the first death's
+// agreement loop, transitively reassign, and still close with every
+// journaled byte intact.
+TEST(ChaosOracleTest, CrashInsideRecoveryHoldsInvariants) {
+  ChaosPlan p;
+  p.seed = 5;
+  p.ranks = 8;
+  p.ranks_per_node = 4;
+  p.segment_size = 512;
+  p.segments_per_rank = 2;
+  p.rounds = 4;
+  p.crashes.push_back({1, CrashPoint::kAtCollective, 1});
+  p.crashes.push_back({0, CrashPoint::kMidRecovery, 0});
+  const ChaosOutcome o = runChaos(p);
+  EXPECT_TRUE(o.ok) << o.failure;
+  EXPECT_EQ(o.ranks_crashed, 2) << "the mid-recovery cascade did not fire";
+  EXPECT_GE(o.segments_taken_over, 2 * p.segments_per_rank)
+      << "transitive reassignment lost the dead adopter's orphans";
+  EXPECT_GT(o.journal_records_replayed, 0);
+}
+
+// The full composition in one plan: straggler skew + transient EIO under
+// retry + two crashes including a mid-recovery cascade + node aggregation.
+TEST(ChaosOracleTest, FullCompositionHoldsInvariants) {
+  ChaosPlan p;
+  p.seed = 9;
+  p.ranks = 8;
+  p.ranks_per_node = 4;
+  p.segment_size = 512;
+  p.segments_per_rank = 2;
+  p.rounds = 4;
+  p.node_agg = true;
+  p.fs_transient_write_rate = 0.08;
+  p.straggler_ost = 0;
+  p.straggler_multiplier = 4.0;
+  p.crashes.push_back({3, CrashPoint::kAtCollective, 2});
+  p.crashes.push_back({0, CrashPoint::kMidRecovery, 0});
+  const ChaosOutcome o = runChaos(p);
+  EXPECT_TRUE(o.ok) << o.failure;
+  EXPECT_GE(o.ranks_crashed, 1);
+}
+
+// Seeded soak: N drawn plans, every invariant, integrity optionally armed.
+// On a red seed the greedy minimizer shrinks the plan and the failure
+// message carries both the original and the minimized reproducer string.
+TEST(ChaosSoakTest, DrawnPlansHoldInvariants) {
+  const std::int64_t seeds = envInt64("TCIO_CHAOS_SEEDS", 4);
+  const std::int64_t base = envInt64("TCIO_CHAOS_SEED_BASE", 1);
+  ChaosKnobs k;
+  k.integrity = envInt64("TCIO_CHAOS_INTEGRITY", 0) > 0;
+  int total_crashed = 0;
+  for (std::int64_t s = base; s < base + seeds; ++s) {
+    const ChaosPlan plan = makeChaosPlan(k, static_cast<std::uint64_t>(s));
+    const ChaosOutcome o = runChaos(plan);
+    if (!o.ok) {
+      const ChaosPlan minimized = minimizeChaos(
+          plan, [](const ChaosPlan& t) { return !runChaos(t).ok; });
+      FAIL() << "chaos seed " << s << ": " << o.failure
+             << "\n  plan:      " << plan.str()
+             << "\n  minimized: " << minimized.str();
+    }
+    total_crashed += o.ranks_crashed;
+  }
+  // The knob envelope is tuned so a soak actually composes faults: across
+  // the default seed range at least one drawn plan kills at least one rank.
+  if (seeds >= 4 && base == 1) {
+    EXPECT_GT(total_crashed, 0);
+  }
+}
+
+// The minimizer itself, on a synthetic predicate (no simulation): failure
+// is "a crash arm on rank 3 exists", so everything else must be stripped.
+TEST(ChaosMinimizerTest, ShrinksToTheCulpritArm) {
+  ChaosPlan p;
+  p.fs_transient_write_rate = 0.1;
+  p.fs_transient_read_rate = 0.05;
+  p.straggler_ost = 1;
+  p.straggler_multiplier = 4.0;
+  p.node_agg = true;
+  p.integrity = true;
+  p.corruptions.push_back({2, CorruptSite::kWindow, 0});
+  for (Rank r = 0; r < 5; ++r) {
+    p.crashes.push_back({r, CrashPoint::kAtCollective, r});
+  }
+  const auto fails = [](const ChaosPlan& t) {
+    return std::any_of(t.crashes.begin(), t.crashes.end(),
+                       [](const CrashSchedule& c) { return c.rank == 3; });
+  };
+  const ChaosPlan m = minimizeChaos(p, fails);
+  ASSERT_EQ(m.crashes.size(), 1u);
+  EXPECT_EQ(m.crashes[0].rank, 3);
+  EXPECT_TRUE(m.corruptions.empty());
+  EXPECT_EQ(m.fs_transient_write_rate, 0.0);
+  EXPECT_EQ(m.fs_transient_read_rate, 0.0);
+  EXPECT_EQ(m.straggler_ost, -1);
+  EXPECT_FALSE(m.node_agg);
+  EXPECT_FALSE(m.integrity);
+}
+
+}  // namespace
+}  // namespace tcio::chaos

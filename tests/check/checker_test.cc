@@ -94,6 +94,73 @@ TEST(CheckerCollectiveTest, HealthyCollectivesPassAndAreCounted) {
   });
 }
 
+TEST(CheckerCollectiveTest, MatchingUserTagsPassAndAreCounted) {
+  mpi::JobConfig jc;
+  jc.num_ranks = 4;
+  mpi::runJob(jc, [&](Comm& comm, mpi::World& world) {
+    // Every rank stamps the same phase ordinal; the matcher verifies the
+    // tag alongside the MPI signature and counts the comparison.
+    for (std::int64_t phase = 0; phase < 3; ++phase) {
+      check::ScopedUserTag tag(world.checker(), comm.rank(), phase);
+      comm.barrier();
+    }
+    comm.barrier();  // untagged: matches anything, not counted
+    if (comm.rank() == 0) {
+      Checker* ck = world.checker();
+      ASSERT_NE(ck, nullptr);
+      // 3 tagged barriers, 3 verifying ranks each (the recorder records).
+      EXPECT_EQ(ck->stats().tags_checked, 9);
+      EXPECT_EQ(ck->violations(), 0);
+    }
+  });
+}
+
+TEST(CheckerCollectiveTest, UserTagMismatchDiagnosesDesyncedPhase) {
+  mpi::JobConfig jc;
+  jc.num_ranks = 3;
+  try {
+    mpi::runJob(jc, [&](Comm& comm, mpi::World& world) {
+      // Rank 1 believes it is in a different application phase; the barrier
+      // signatures (op/root/bytes) still line up, so only the tag catches it.
+      const std::int64_t phase = comm.rank() == 1 ? 9002 : 7001;
+      check::ScopedUserTag tag(world.checker(), comm.rank(), phase);
+      comm.barrier();
+    });
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string msg = e.what();
+    expectContains(msg, "user tag mismatch");
+    expectContains(msg, "barrier");
+    expectContains(msg, "(actual)");
+    expectContains(msg, "(expected)");
+    // Both phases appear regardless of which rank recorded first.
+    expectContains(msg, "7001");
+    expectContains(msg, "9002");
+  }
+}
+
+TEST(CheckerCollectiveTest, UntaggedRankMatchesAnyTag) {
+  mpi::JobConfig jc;
+  jc.num_ranks = 4;
+  mpi::runJob(jc, [&](Comm& comm, mpi::World& world) {
+    // Only even ranks are tagged: every pairing involves an untagged side
+    // at least once, so nothing throws and the scoped tag restores cleanly.
+    if (comm.rank() % 2 == 0) {
+      check::ScopedUserTag tag(world.checker(), comm.rank(), 42);
+      comm.barrier();
+    } else {
+      comm.barrier();
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      Checker* ck = world.checker();
+      ASSERT_NE(ck, nullptr);
+      EXPECT_EQ(ck->userTag(0), Checker::kNoUserTag);  // scope restored
+      EXPECT_EQ(ck->violations(), 0);
+    }
+  });
+}
+
 // -- RMA epoch machine --------------------------------------------------------
 
 TEST(CheckerRmaTest, PutOutsideEpochCaughtWithRank) {

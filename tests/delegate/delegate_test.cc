@@ -419,9 +419,10 @@ TEST(DelegateCrashTest, AdjacentDoubleDeathAdoptsBothShards) {
 TEST(DelegateCrashTest, AdopterCrashBeforeDrainPreservesTheChain) {
   // Delegate 0 dies mid-put; delegate 1 adopts its shard (journal replay),
   // then itself dies at the start of the close-time drain. Delegate 2 then
-  // adopts delegate 1 and replays only 1's journal — so 1 must have
-  // re-appended 0's replayed records into its own WAL, or 0's acknowledged
-  // puts vanish with the second death.
+  // adopts delegate 1 — and, via the chain scan over the agreed death order,
+  // re-adopts delegate 0 from 0's ORIGINAL journal: the dead adopter's WAL
+  // (which does carry gen-bumped copies of 0's records) is never the sole
+  // carrier of the chain.
   fs::Filesystem fsys(fsCfg());
   core::TcioDelegateStats stats;
   constexpr int kProcs = 6;
@@ -447,16 +448,68 @@ TEST(DelegateCrashTest, AdopterCrashBeforeDrainPreservesTheChain) {
     }, &stats);
   });
   EXPECT_EQ(stats.delegates_crashed, 2);
-  // Only the surviving delegate's counters reach the shutdown merge
-  // (delegate 1's adoption of 0 died with it — fail-stop), so exactly one
-  // adoption is reportable even though two happened.
-  EXPECT_EQ(stats.shards_adopted, 1);
+  // Delegate 1's adoption of 0 died with it (fail-stop — its counters never
+  // reach the shutdown merge), but the survivor's chain scan adopts both
+  // dead shards itself: 1's as a fresh death, 0's as a re-adoption.
+  EXPECT_EQ(stats.shards_adopted, 2);
+  EXPECT_EQ(stats.shards_readopted, 1);
   for (int c = 0; c < kClients; ++c) {
     for (int b = 0; b < kBlocks; ++b) {
       const Offset off = (static_cast<Offset>(c) * kBlocks + b) * kSegment;
       EXPECT_EQ(peekBytes(fsys, "chain.dat", off, kSegment),
                 clientBlock(c, off, kSegment))
           << "chain-lost bytes at client " << c << " block " << b;
+    }
+  }
+}
+
+TEST(DelegateCrashTest, AdopterDiesMidReplayChainFallsToOriginalJournals) {
+  // The cascade the chain test above cannot reach: delegate 0 dies mid-put,
+  // delegate 1 adopts it and then dies INSIDE the adoption itself — while
+  // re-appending 0's replayed records into its own WAL
+  // (CrashPoint::kMidRecovery), leaving a torn gen-1 copy behind. Delegate 2
+  // must then adopt 1 AND re-adopt 0 from 0's ORIGINAL journal (the chain
+  // scan over death order), because 1's WAL alone carries only the torn
+  // fragment of 0's data. The torn frame is discarded by CRC; the duplicate
+  // replays are byte-identical and therefore idempotent.
+  fs::Filesystem fsys(fsCfg());
+  core::TcioDelegateStats stats;
+  constexpr int kProcs = 6;
+  constexpr int kDelegates = 3;
+  constexpr int kClients = kProcs - kDelegates;
+  constexpr int kBlocks = 4;
+  mpi::runJob(job(kProcs, /*seed=*/41), [&](mpi::Comm& comm) {
+    core::TcioConfig cfg = delegated(kDelegates);
+    cfg.crash.enabled = true;
+    cfg.crash.journal = true;
+    cfg.crash.liveness_window = 0.25;
+    cfg.faults.seed = 41;
+    cfg.faults.crashes.push_back({/*rank=*/0, CrashPoint::kMidJournal, 2});
+    cfg.faults.crashes.push_back({/*rank=*/1, CrashPoint::kMidRecovery, 0});
+    runSession(comm, fsys, cfg, [&](Session& s, Channel& ch) {
+      const int c = s.clientComm().rank();
+      DFile f(ch, "cascade.dat", fs::kWrite | fs::kCreate);
+      for (int b = 0; b < kBlocks; ++b) {
+        const Offset off = (static_cast<Offset>(c) * kBlocks + b) * kSegment;
+        f.writeAt(off, clientBlock(c, off, kSegment));
+      }
+      f.close();
+    }, &stats);
+  });
+  EXPECT_EQ(stats.delegates_crashed, 2);
+  // Delegate 2 adopted both dead shards (1's own half-finished adoption of 0
+  // died with it and never reached the merge); 0's was a re-adoption — its
+  // first adopter was already dead when the shard landed here.
+  EXPECT_EQ(stats.shards_adopted, 2);
+  EXPECT_EQ(stats.shards_readopted, 1)
+      << "the chain scan must re-adopt the first victim from its original "
+         "journal after its adopter died mid-replay";
+  for (int c = 0; c < kClients; ++c) {
+    for (int b = 0; b < kBlocks; ++b) {
+      const Offset off = (static_cast<Offset>(c) * kBlocks + b) * kSegment;
+      EXPECT_EQ(peekBytes(fsys, "cascade.dat", off, kSegment),
+                clientBlock(c, off, kSegment))
+          << "cascade-lost bytes at client " << c << " block " << b;
     }
   }
 }

@@ -16,6 +16,7 @@
 // death after all journaling completed (kMidClose — fully recoverable).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -51,6 +52,7 @@ std::string paramName(const ::testing::TestParamInfo<CrashParam>& info) {
     case CrashPoint::kMidRma: p = "mid_rma"; break;
     case CrashPoint::kMidJournal: p = "mid_journal"; break;
     case CrashPoint::kMidClose: p = "mid_close"; break;
+    case CrashPoint::kMidRecovery: p = "mid_recovery"; break;
   }
   const char* m = "";
   switch (info.param.mode) {
@@ -415,6 +417,100 @@ TEST(TcioShrinkRenewalTest, SurvivesMoreShrinksThanOneReservation) {
   for (Offset off = 0; off < kFileBytes; ++off) {
     ASSERT_EQ(got[static_cast<std::size_t>(off)], expected(off))
         << "byte " << off << " lost across renewed shrinks";
+  }
+}
+
+// Elastic takeover under mass death: 11 of 16 ranks die — one of them INSIDE
+// an in-flight recovery epoch — leaving 5 survivors to absorb 22 orphaned
+// segments against a spare budget of only 2 slots each. The spare-slot
+// exhaustion must trigger collective window remaps (grow + slot relocation),
+// the mid-recovery cascade must be agreed from within the first death's
+// epoch and its orphans transitively reassigned, and the file must still
+// close byte-identical to a fault-free run.
+TEST(TcioElasticTakeoverTest, MassDeathGrowsTakeoverCapacity) {
+  constexpr int P = 16;
+  constexpr std::int64_t kSpr = 2;
+  constexpr Bytes kRegion = kSegment * kSpr;
+  constexpr Bytes kFileBytes = kRegion * P;
+  // Victims: rank 8 dies first (flush round 2); rank 0 — deterministically
+  // the first round-robin adopter of rank 8's orphans — dies mid-replay of
+  // that very takeover (CrashPoint::kMidRecovery); nine more die one per
+  // later flush round. 11 > the 8-victim bar and > kMaxShrinks, so the
+  // context-reservation renewal path runs under elastic growth too.
+  constexpr int kVictims = 11;
+  const std::vector<Rank> late = {5, 6, 7, 9, 10, 11, 12, 13, 14};
+
+  fs::FsConfig fcfg;
+  fcfg.num_osts = 3;
+  fcfg.stripe_size = kSegment;
+  fs::Filesystem fsys(fcfg);
+
+  TcioConfig cfg;
+  cfg.segment_size = kSegment;
+  cfg.segments_per_rank = kSpr;
+  cfg.crash.enabled = true;
+  cfg.faults.seed = 13;
+  cfg.faults.crashes.push_back({8, CrashPoint::kAtCollective, /*after=*/1});
+  cfg.faults.crashes.push_back({0, CrashPoint::kMidRecovery, /*after=*/0});
+  for (std::size_t j = 0; j < late.size(); ++j) {
+    cfg.faults.crashes.push_back({late[j], CrashPoint::kAtCollective,
+                                  /*after=*/2 + static_cast<std::int64_t>(j)});
+  }
+
+  mpi::JobConfig jc;
+  jc.num_ranks = P;
+  jc.net.ranks_per_node = 4;
+  std::array<std::int32_t, P> outcome{};
+  std::array<std::int64_t, P> deaths_seen{};
+  std::array<std::int64_t, P> remaps{};
+  std::array<std::int64_t, P> taken_over{};
+  mpi::runJob(jc, [&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    mpi::CapturedError err;
+    File f(comm, fsys, "elastic.dat", fs::kWrite | fs::kCreate, cfg);
+    try {
+      std::vector<std::byte> buf(static_cast<std::size_t>(kRegion));
+      for (Bytes i = 0; i < kRegion; ++i) {
+        buf[static_cast<std::size_t>(i)] = expected(r * kRegion + i);
+      }
+      f.writeAt(r * kRegion, buf.data(), kRegion);
+      for (int round = 0; round < kVictims + 2; ++round) f.flush();
+      f.close();
+    } catch (const std::exception& e) {
+      err.capture(e);
+    }
+    outcome[static_cast<std::size_t>(r)] = err.code;
+    deaths_seen[static_cast<std::size_t>(r)] = f.stats().degraded.ranks_crashed;
+    remaps[static_cast<std::size_t>(r)] = f.stats().degraded.window_remaps;
+    taken_over[static_cast<std::size_t>(r)] =
+        f.stats().degraded.segments_taken_over;
+  });
+
+  std::int64_t total_taken = 0;
+  for (int r = 0; r < P; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const bool victim = r == 0 || r == 8 ||
+                        std::find(late.begin(), late.end(), r) != late.end();
+    if (victim) {
+      EXPECT_EQ(outcome[i], mpi::CapturedError::kRankCrashed) << "victim " << r;
+    } else {
+      EXPECT_EQ(outcome[i], 0) << "survivor " << r;
+      EXPECT_EQ(deaths_seen[i], kVictims)
+          << "survivor " << r << " missed a death (cascade not agreed?)";
+      // Window growth is collective: every survivor remapped, at least once.
+      EXPECT_GE(remaps[i], 1) << "survivor " << r << " never grew its window";
+      total_taken += taken_over[i];
+    }
+  }
+  // Every orphan landed on a survivor; the mid-replay victim's own segments
+  // and its half-adopted orphans were all transitively re-adopted.
+  EXPECT_GE(total_taken, kVictims * kSpr);
+  ASSERT_EQ(fsys.peekSize("elastic.dat"), kFileBytes);
+  std::vector<std::byte> got(static_cast<std::size_t>(kFileBytes));
+  fsys.peek("elastic.dat", 0, got);
+  for (Offset off = 0; off < kFileBytes; ++off) {
+    ASSERT_EQ(got[static_cast<std::size_t>(off)], expected(off))
+        << "byte " << off << " lost across elastic takeover";
   }
 }
 

@@ -570,5 +570,75 @@ TEST(DelegateIntegrityTest, DoubleFrameFlipIsUnrepairableAndTyped) {
   EXPECT_EQ(stats.repaired, 0);
 }
 
+TEST(DelegateIntegrityTest, FineGrainedPutsCoalesceIntoLedgerRuns) {
+  // The shard ledger mirrors File::digestLevel1's run coalescing: adjacent
+  // same-client pieces extend one contiguous run, equal-length pieces at a
+  // constant stride join a strided run — instead of one ledger entry (and
+  // one digest per verification pass) per element. A shard-at-rest flip
+  // inside a coalesced run must still be caught by the run's streamed CRC
+  // and healed by WAL replay of the whole run.
+  fs::FsConfig fcfg;
+  fcfg.num_osts = 4;
+  fcfg.stripe_size = 1024;
+  fs::Filesystem fsys(fcfg);
+  core::TcioDelegateStats stats;
+  constexpr int kPieces = 8;
+  constexpr Bytes kPiece = kSegment / kPieces;
+  mpi::runJob(delegateJob(), [&](mpi::Comm& comm) {
+    core::TcioConfig cfg = delegatedIntegrity(/*d=*/2);
+    // Flip one bit in delegate 0's shard buffer after the first applied put;
+    // later pieces extend that run, so the flip sits inside a multi-piece
+    // coalesced entry by the time anything verifies it.
+    cfg.faults.corruptions.push_back(
+        {/*rank=*/0, CorruptSite::kWindow, /*after=*/0});
+    runSession(comm, fsys, cfg, [&](Session& s, Channel& ch) {
+      const int c = s.clientComm().rank();
+      DFile f(ch, "druns.dat", fs::kRead | fs::kWrite | fs::kCreate);
+      // Phase 1: kPieces adjacent pieces, one put each — one contiguous run.
+      const Offset base = static_cast<Offset>(c) * kSegment;
+      for (int i = 0; i < kPieces; ++i) {
+        const Offset off = base + static_cast<Offset>(i) * kPiece;
+        f.writeAt(off, clientBlock(c, off, kPiece));
+      }
+      f.flush();
+      std::vector<std::byte> back(static_cast<std::size_t>(kSegment));
+      f.readAt(base, back);
+      EXPECT_EQ(back, clientBlock(c, base, kSegment));
+      // Phase 2: three equal pieces at a constant stride in a second
+      // segment — one strided run (join, then continue).
+      const Offset base2 = static_cast<Offset>(4 + c) * kSegment;
+      for (int i = 0; i < 3; ++i) {
+        const Offset off = base2 + static_cast<Offset>(i) * 2 * kPiece;
+        f.writeAt(off, clientBlock(c, off, kPiece));
+      }
+      f.close();
+    }, &stats);
+  });
+  EXPECT_GE(stats.crc_mismatches, 1);
+  EXPECT_GE(stats.repaired, 1);
+  EXPECT_EQ(stats.unrepairable, 0);
+  // One ledger entry per segment (4 contiguous + 4 strided runs): each
+  // verification pass digests one run per shard segment, never one per
+  // piece. The count decomposes as 44 per-put frame-arrival digests (11
+  // puts x 4 clients, unaffected by coalescing) + at most 12 run digests
+  // (4 get verifies + 8 drain scrubs x 1 run each); without coalescing the
+  // ledger side alone would cost 76.
+  EXPECT_LE(stats.crc_checks, 56);
+  for (int c = 0; c < 4; ++c) {
+    const Offset base = static_cast<Offset>(c) * kSegment;
+    std::vector<std::byte> got(static_cast<std::size_t>(kSegment));
+    fsys.peek("druns.dat", base, got);
+    EXPECT_EQ(got, clientBlock(c, base, kSegment)) << "client " << c;
+    const Offset base2 = static_cast<Offset>(4 + c) * kSegment;
+    for (int i = 0; i < 3; ++i) {
+      const Offset off = base2 + static_cast<Offset>(i) * 2 * kPiece;
+      std::vector<std::byte> piece(static_cast<std::size_t>(kPiece));
+      fsys.peek("druns.dat", off, piece);
+      EXPECT_EQ(piece, clientBlock(c, off, kPiece))
+          << "client " << c << " strided piece " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tcio::delegate

@@ -537,6 +537,32 @@ ChaosPlan minimizeChaos(const ChaosPlan& plan,
       }
     }
     if (changed) continue;
+    // Crash ordinals: bisect each surviving arm's `after` down to the
+    // smallest ordinal that still fails. Arm drops run first so only
+    // culprit arms get polished; a lowered ordinal can unlock further
+    // drops, so any shrink re-enters the greedy loop. The loop invariant
+    // keeps `hi` on a failing value, so non-monotone predicates still
+    // converge to *a* failing ordinal (greedy, like the drops above).
+    for (std::size_t i = 0; !changed && i < cur.crashes.size(); ++i) {
+      std::int64_t lo = 0;
+      std::int64_t hi = cur.crashes[i].after;
+      if (hi == 0) continue;
+      while (lo < hi) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        ChaosPlan t = cur;
+        t.crashes[i].after = mid;
+        if (fails(t)) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      if (hi < cur.crashes[i].after) {
+        cur.crashes[i].after = hi;
+        changed = true;
+      }
+    }
+    if (changed) continue;
     // Scalar fault classes, one deletion at a time. Dropping integrity also
     // drops the corruption arms: a window flip with no pipeline to repair it
     // is EXPECTED data loss, and minimizing into that would swap the real

@@ -20,8 +20,9 @@
 //     death's segments are taken over, integrity never reports unrepairable
 //     loss), and the whole run must reproduce bit-exactly from its seed;
 //   * minimizeChaos() greedily shrinks a failing plan — dropping crash and
-//     corruption arms, zeroing rates, stripping the straggler — to a minimal
-//     schedule that still fails, which is what gets printed on a red seed.
+//     corruption arms, bisecting crash ordinals, zeroing rates, stripping
+//     the straggler — to a minimal schedule that still fails, which is what
+//     gets printed on a red seed.
 #pragma once
 
 #include <cstdint>
@@ -120,7 +121,10 @@ ChaosOutcome runChaos(const ChaosPlan& plan);
 /// corruption arm, or one scalar fault class (transient rates, straggler,
 /// node aggregation, integrity+corruption) and keeps any mutation for which
 /// `fails` still returns true, until no single deletion preserves the
-/// failure. `fails(plan)` must be true on entry.
+/// failure. Surviving crash arms additionally have their `after` ordinal
+/// bisected to the smallest still-failing value, so a printed red plan says
+/// "the 2nd collective" rather than whatever large ordinal the draw landed
+/// on. `fails(plan)` must be true on entry.
 ChaosPlan minimizeChaos(const ChaosPlan& plan,
                         const std::function<bool(const ChaosPlan&)>& fails);
 

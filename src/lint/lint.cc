@@ -1,0 +1,194 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace tcio::lint {
+
+namespace {
+
+const std::vector<std::pair<std::string, detail::RuleFn>>& ruleTable() {
+  static const std::vector<std::pair<std::string, detail::RuleFn>> kRules = {
+      {"rma-source-lifetime", detail::ruleRmaSourceLifetime},
+      {"collective-divergence", detail::ruleCollectiveDivergence},
+      {"raii-temporary", detail::ruleRaiiTemporary},
+      {"journal-batch-pairing", detail::ruleJournalBatchPairing},
+      {"crash-unwind-swallow", detail::ruleCrashUnwindSwallow},
+      {"banned-api", detail::ruleBannedApi},
+  };
+  return kRules;
+}
+
+bool knownRule(const std::string& name) {
+  const auto& table = ruleTable();
+  return std::any_of(table.begin(), table.end(),
+                     [&](const auto& r) { return r.first == name; });
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return std::string();
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Suppressions keyed by the source line they cover. A `NOLINT-TCIO`
+/// comment covers its own line and the next one, so both trailing and
+/// line-above placements work.
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Finding> errors;  // malformed suppressions are findings
+};
+
+Suppressions parseSuppressions(const std::vector<Comment>& comments) {
+  Suppressions out;
+  for (const Comment& c : comments) {
+    // Only a comment that *begins* with the marker is a suppression; prose
+    // that mentions NOLINT-TCIO mid-sentence (docs, this file) is not.
+    const std::string head = trim(c.text);
+    if (head.rfind("NOLINT-TCIO", 0) != 0) continue;
+    std::size_t at = c.text.find("NOLINT-TCIO");
+    const auto bad = [&](const std::string& why) {
+      out.errors.push_back(
+          {std::string(), c.line, "lint-suppression",
+           "malformed NOLINT-TCIO suppression: " + why +
+               " (expected `NOLINT-TCIO(rule): reason`)"});
+    };
+    at += std::string("NOLINT-TCIO").size();
+    if (at >= c.text.size() || c.text[at] != '(') {
+      bad("missing (rule) list");
+      continue;
+    }
+    const std::size_t close = c.text.find(')', at);
+    if (close == std::string::npos) {
+      bad("unterminated (rule) list");
+      continue;
+    }
+    // Comma-separated rule names.
+    std::vector<std::string> rules;
+    std::stringstream list(c.text.substr(at + 1, close - at - 1));
+    std::string name;
+    bool names_ok = true;
+    while (std::getline(list, name, ',')) {
+      name = trim(name);
+      if (name.empty() || !knownRule(name)) {
+        bad("unknown rule '" + name + "'");
+        names_ok = false;
+        break;
+      }
+      rules.push_back(name);
+    }
+    if (!names_ok) continue;
+    if (rules.empty()) {
+      bad("empty rule list");
+      continue;
+    }
+    // The reason is mandatory: a waiver must say why it is sound.
+    std::size_t reason_at = close + 1;
+    if (reason_at >= c.text.size() || c.text[reason_at] != ':' ||
+        trim(c.text.substr(reason_at + 1)).empty()) {
+      bad("missing reason after the rule list");
+      continue;
+    }
+    for (const std::string& r : rules) {
+      out.by_line[c.line].insert(r);
+      out.by_line[c.line + 1].insert(r);
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> lintLexed(const std::string& path, const LexedFile& lf) {
+  std::vector<Finding> raw;
+  for (const auto& [name, fn] : ruleTable()) {
+    (void)name;
+    fn(lf, path, &raw);
+  }
+  const Suppressions sup = parseSuppressions(lf.comments);
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    const auto it = sup.by_line.find(f.line);
+    if (it != sup.by_line.end() && it->second.count(f.rule) > 0) continue;
+    f.path = path;
+    out.push_back(std::move(f));
+  }
+  for (Finding f : sup.errors) {
+    f.path = path;
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string Finding::str() const {
+  return path + ":" + std::to_string(line) + ": " + rule + ": " + message;
+}
+
+std::vector<std::string> ruleNames() {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : ruleTable()) {
+    (void)fn;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<Finding> lintText(const std::string& path,
+                              std::string_view content) {
+  return lintLexed(path, lex(content));
+}
+
+std::vector<Finding> lintFile(const std::string& fs_path,
+                              const std::string& display_path) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) {
+    return {{display_path, 0, "lint-io", "cannot read file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lintText(display_path, buf.str());
+}
+
+ExpectResult checkExpectations(const std::string& path,
+                               std::string_view content) {
+  const LexedFile lf = lex(content);
+  // (line, rule) expectations from LINT-EXPECT[rule] annotations.
+  std::multiset<std::pair<int, std::string>> expected;
+  for (const Comment& c : lf.comments) {
+    std::size_t at = 0;
+    while ((at = c.text.find("LINT-EXPECT[", at)) != std::string::npos) {
+      at += std::string("LINT-EXPECT[").size();
+      const std::size_t close = c.text.find(']', at);
+      if (close == std::string::npos) break;
+      expected.insert({c.line, trim(c.text.substr(at, close - at))});
+      at = close + 1;
+    }
+  }
+  ExpectResult res;
+  std::multiset<std::pair<int, std::string>> got;
+  for (const Finding& f : lintLexed(path, lf)) {
+    got.insert({f.line, f.rule});
+    if (expected.count({f.line, f.rule}) == 0) {
+      res.ok = false;
+      res.problems.push_back("unexpected finding: " + f.str());
+    }
+  }
+  for (const auto& [line, rule] : expected) {
+    if (got.count({line, rule}) < expected.count({line, rule})) {
+      res.ok = false;
+      res.problems.push_back("missing expected finding: " + path + ":" +
+                             std::to_string(line) + ": " + rule);
+      break;  // one message per (line, rule) is enough
+    }
+  }
+  return res;
+}
+
+}  // namespace tcio::lint

@@ -1,0 +1,116 @@
+// tcio-lint command-line driver.
+//
+//   tcio-lint [--root DIR] [--expect] [--list-rules] PATH...
+//
+// PATHs are files or directories (directories recurse over *.cc / *.h).
+// Findings print machine-readably, one per line: `file:line: rule: message`
+// with file repo-relative to --root. Exit status: 0 clean, 1 findings,
+// 2 usage/IO error.
+//
+// --expect flips fixture mode: every file must produce exactly the findings
+// its `LINT-EXPECT[rule]` annotations declare (tests/lint/fixtures).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+std::string displayPath(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  const fs::path chosen =
+      (ec || rel.empty() || *rel.begin() == "..") ? p : rel;
+  return chosen.generic_string();  // forward slashes on every platform
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool expect_mode = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--expect") {
+      expect_mode = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : tcio::lint::ruleNames()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: tcio-lint [--root DIR] [--expect] [--list-rules] "
+                   "PATH...\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "tcio-lint: no inputs (see --help)\n");
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& in : inputs) {
+    fs::path p(in);
+    if (p.is_relative() && !fs::exists(p)) p = root / in;
+    if (fs::is_directory(p)) {
+      for (const auto& e : fs::recursive_directory_iterator(p)) {
+        if (e.is_regular_file() && lintable(e.path())) {
+          files.push_back(e.path());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "tcio-lint: no such input: %s\n", in.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  int findings = 0;
+  for (const fs::path& f : files) {
+    const std::string display = displayPath(f, root);
+    if (expect_mode) {
+      std::ifstream is(f, std::ios::binary);
+      std::string content((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+      const tcio::lint::ExpectResult res =
+          tcio::lint::checkExpectations(display, content);
+      if (!res.ok) {
+        for (const std::string& p : res.problems) {
+          std::printf("%s\n", p.c_str());
+          ++findings;
+        }
+      }
+    } else {
+      for (const tcio::lint::Finding& fd :
+           tcio::lint::lintFile(f.string(), display)) {
+        std::printf("%s\n", fd.str().c_str());
+        ++findings;
+      }
+    }
+  }
+  std::fprintf(stderr, "tcio-lint: %d finding%s over %zu file%s%s\n",
+               findings, findings == 1 ? "" : "s", files.size(),
+               files.size() == 1 ? "" : "s",
+               expect_mode ? " (fixture mode)" : "");
+  return findings == 0 ? 0 : 1;
+}

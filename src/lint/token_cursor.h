@@ -1,0 +1,127 @@
+// Shared token-walking helpers for the tcio-lint rules: balanced-delimiter
+// matching and function-body discovery over the lexer's token stream.
+// Internal to src/lint.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace tcio::lint::detail {
+
+inline bool is(const Token& t, const char* text) { return t.text == text; }
+
+inline bool isIdent(const Token& t, const char* text) {
+  return t.kind == Tok::kIdent && t.text == text;
+}
+
+/// Index of the token matching the opener at `open` ("(", "{", or "[").
+/// Returns tokens.size() when unbalanced (truncated file) — callers treat
+/// that as "spans to end of file".
+inline std::size_t matchDelim(const std::vector<Token>& toks,
+                              std::size_t open) {
+  const std::string& o = toks[open].text;
+  const char* close = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == o) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+/// A top-level function (or lambda) body: tokens (open..close) are the
+/// braces. Control-flow braces (if/for/while/switch/catch), class bodies,
+/// and initializer lists are excluded.
+struct FnBody {
+  std::size_t open = 0;
+  std::size_t close = 0;
+  bool lambda = false;
+};
+
+/// Heuristic body finder. A `{` opens a function body when, after skipping
+/// trailing qualifiers (const/noexcept/override/final/mutable, a noexcept
+/// argument, or a `-> Type` trailing return), the preceding token is the
+/// `)` of a parameter list whose opener is NOT preceded by a control-flow
+/// keyword. A parameter list preceded by `]` marks a lambda. Bodies nested
+/// inside a found body (lambdas) are reported as their own entries too.
+inline std::vector<FnBody> findFunctionBodies(const std::vector<Token>& t) {
+  std::vector<FnBody> out;
+  // Matching close-paren index -> open-paren index, built in one pass.
+  std::vector<std::size_t> open_of(t.size(), 0);
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (is(t[i], "(")) stack.push_back(i);
+      if (is(t[i], ")") && !stack.empty()) {
+        open_of[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is(t[i], "{") || i == 0) continue;
+    // Walk back over trailing qualifiers to the candidate `)`.
+    std::size_t j = i - 1;
+    bool walked = true;
+    while (walked && j > 0) {
+      walked = false;
+      const Token& b = t[j];
+      if (b.kind == Tok::kIdent &&
+          (b.text == "const" || b.text == "noexcept" || b.text == "override" ||
+           b.text == "final" || b.text == "mutable" || b.text == "try")) {
+        --j;
+        walked = true;
+      } else if (is(b, ")")) {
+        // Could be a noexcept(...) clause; peek before its opener.
+        const std::size_t op = open_of[j];
+        if (op > 0 && isIdent(t[op - 1], "noexcept")) {
+          j = op >= 2 ? op - 2 : 0;  // token before "noexcept"
+          walked = true;
+        }
+      } else if (b.kind == Tok::kIdent || is(b, ">") || is(b, "*") ||
+                 is(b, "&") || is(b, "::")) {
+        // Possibly a trailing return type `-> Type`; scan back for `->`
+        // within a short window.
+        std::size_t k = j;
+        bool arrow = false;
+        for (int steps = 0; k > 0 && steps < 8; --k, ++steps) {
+          if (is(t[k], "->")) {
+            arrow = true;
+            break;
+          }
+          if (is(t[k], ")") || is(t[k], ";") || is(t[k], "}")) break;
+        }
+        if (arrow && k >= 1) {
+          j = k - 1;
+          walked = true;
+        }
+      }
+    }
+    if (j == 0 || !is(t[j], ")")) continue;
+    const std::size_t op = open_of[j];
+    if (op == 0) continue;
+    const Token& before = t[op - 1];
+    if (before.kind == Tok::kIdent &&
+        (before.text == "if" || before.text == "for" ||
+         before.text == "while" || before.text == "switch" ||
+         before.text == "catch" || before.text == "return")) {
+      continue;
+    }
+    FnBody body;
+    body.open = i;
+    body.close = matchDelim(t, i);
+    body.lambda = is(before, "]");
+    // A constructor init list (`: a_(x), b_(y) {`) still ends in `)` before
+    // `{` — that IS the function body, so no special case needed.
+    out.push_back(body);
+  }
+  return out;
+}
+
+}  // namespace tcio::lint::detail

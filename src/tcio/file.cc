@@ -149,6 +149,10 @@ File::~File() {
   if (open_) {
     try {
       close();
+      // A RankCrashedError here means the rank is already unwinding and
+      // the survivors have agreed on the death — nothing is lost by eating
+      // it, and a throwing destructor would terminate the process.
+      // NOLINT-TCIO(crash-unwind-swallow): destructor must not throw
     } catch (...) {
       // Destructor must not throw; an incomplete collective close at
       // unwind time is already a failed simulation.

@@ -37,6 +37,9 @@ Journal::Journal(fs::FsClient& client, std::string path)
 Journal::~Journal() {
   try {
     close();
+    // A crash mid-journal-teardown is absorbed: replay tolerates an
+    // unclosed WAL by construction (CRC framing drops any torn tail).
+    // NOLINT-TCIO(crash-unwind-swallow): destructor must not throw
   } catch (...) {
     // Destructor must not throw; an unclean journal handle only costs the
     // simulated MDS a close it never saw.

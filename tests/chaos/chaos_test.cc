@@ -137,5 +137,43 @@ TEST(ChaosMinimizerTest, ShrinksToTheCulpritArm) {
   EXPECT_FALSE(m.integrity);
 }
 
+// Ordinal bisection: the failure needs rank 2 crashing at ordinal >= 5, so
+// the minimizer must keep that arm, drop the other, and walk `after` down
+// from the drawn 1000 to exactly 5.
+TEST(ChaosMinimizerTest, BisectsTheCrashOrdinal) {
+  ChaosPlan p;
+  p.crashes.push_back({2, CrashPoint::kAtCollective, 1000});
+  p.crashes.push_back({4, CrashPoint::kAtCollective, 7});
+  int calls = 0;
+  const auto fails = [&calls](const ChaosPlan& t) {
+    ++calls;
+    return std::any_of(t.crashes.begin(), t.crashes.end(),
+                       [](const CrashSchedule& c) {
+                         return c.rank == 2 && c.after >= 5;
+                       });
+  };
+  const ChaosPlan m = minimizeChaos(p, fails);
+  ASSERT_EQ(m.crashes.size(), 1u);
+  EXPECT_EQ(m.crashes[0].rank, 2);
+  EXPECT_EQ(m.crashes[0].after, 5);
+  // ~log2(1000) probes plus the greedy drop passes — far under the linear
+  // scan's ~1000.
+  EXPECT_LT(calls, 60);
+}
+
+// Bisection must not converge on a non-failing ordinal when the predicate
+// is non-monotone: failure only at the exact drawn ordinal.
+TEST(ChaosMinimizerTest, OrdinalBisectionKeepsAFailingPlan) {
+  ChaosPlan p;
+  p.crashes.push_back({1, CrashPoint::kAtCollective, 9});
+  const auto fails = [](const ChaosPlan& t) {
+    return t.crashes.size() == 1 && t.crashes[0].after == 9;
+  };
+  const ChaosPlan m = minimizeChaos(p, fails);
+  ASSERT_EQ(m.crashes.size(), 1u);
+  EXPECT_EQ(m.crashes[0].after, 9);
+  EXPECT_TRUE(fails(m));
+}
+
 }  // namespace
 }  // namespace tcio::chaos

@@ -1,0 +1,33 @@
+// RED fixture: collective-divergence. Collectives reached on only one side
+// of a rank-dependent branch.
+
+namespace fixture {
+
+// Leader-only barrier: ranks != 0 never arrive and the schedule hangs.
+void leaderOnlyBarrier(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // LINT-EXPECT[collective-divergence]
+  }
+}
+
+// Unbalanced cascade: the barrier matches across the branch, the bcast
+// does not.
+void unbalancedCascade(mpi::Comm& comm, Digest& d) {
+  if (comm.isLeader()) {
+    comm.bcast(&d, sizeof(d), 0);  // LINT-EXPECT[collective-divergence]
+    comm.barrier();
+  } else {
+    comm.barrier();
+  }
+}
+
+// The divergent call can sit on the else path too.
+void elseOnly(mpi::Comm& comm, long* sum) {
+  if (my_rank == 0) {
+    drainQueue();
+  } else {
+    comm.allreduce(sum, 1);  // LINT-EXPECT[collective-divergence]
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// GREEN fixture: crash-unwind-swallow. Broad catches that visibly route
+// the exception onward, typed-first chains, and narrow catches.
+
+namespace fixture {
+
+// Rethrow keeps the crash unwinding.
+void rethrows(sim::Comm& comm) {
+  try {
+    comm.allreduce(nullptr, 0);
+  } catch (...) {
+    releaseQueueSlot();
+    throw;
+  }
+}
+
+// The collective error-agreement idiom: capture preserves kRankCrashed for
+// agreeOnError.
+void captures(sim::Comm& comm) {
+  CapturedError err;
+  try {
+    comm.allreduce(nullptr, 0);
+  } catch (const std::exception& e) {
+    err = CapturedError::capture(e);
+  }
+  agreeOnError(comm, err);
+}
+
+// A typed RankCrashedError arm ahead of the broad arm routes the crash
+// before the broad clause can see it.
+void typedFirst(sim::Comm& comm) {
+  try {
+    comm.allreduce(nullptr, 0);
+  } catch (const RankCrashedError&) {
+    throw;
+  } catch (const std::exception& e) {
+    note(e);
+  }
+}
+
+// Narrow catches of non-crash types are outside the rule entirely.
+void narrow(fs::FsClient& client) {
+  try {
+    client.flush();
+  } catch (const FileNotFound&) {
+    // an absent WAL is normal on a cold start
+  }
+}
+
+}  // namespace fixture

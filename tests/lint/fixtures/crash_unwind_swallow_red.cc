@@ -1,0 +1,31 @@
+// RED fixture: crash-unwind-swallow. Broad catches that can eat a
+// RankCrashedError: the crashed rank must keep unwinding or the survivors
+// never agree on the death.
+
+namespace fixture {
+
+void swallowAll(sim::Comm& comm) {
+  try {
+    comm.allreduce(nullptr, 0);
+  } catch (...) {  // LINT-EXPECT[crash-unwind-swallow]
+    logWarn("allreduce failed");
+  }
+}
+
+void swallowTyped(fs::FsClient& client) {
+  try {
+    client.flush();
+  } catch (const std::exception& e) {  // LINT-EXPECT[crash-unwind-swallow]
+    note(e);
+  }
+}
+
+void countFailures(Journal& j) {
+  try {
+    j.commit();
+  } catch (const Error&) {  // LINT-EXPECT[crash-unwind-swallow]
+    bumpFailureStat();
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// GREEN fixture: journal-batch-pairing. Batches closed on every exit path,
+// plus exit-domain shapes the rule must not confuse.
+
+namespace fixture {
+
+void batched(Journal& j, const std::vector<Extent>& es) {
+  j.batchBegin();
+  for (const auto& e : es) j.append(e);
+  j.batchEnd();
+}
+
+// Returning before the batch opens is fine.
+void guardedBegin(Journal& j, const std::vector<Extent>& es) {
+  if (es.empty()) return;
+  j.batchBegin();
+  for (const auto& e : es) j.append(e);
+  j.batchEnd();
+}
+
+// A return inside a lambda leaves the lambda, not the batching function.
+void lambdaReturn(Journal& j, const std::vector<Extent>& es) {
+  j.batchBegin();
+  const auto keep = [](const Extent& e) {
+    if (e.empty()) return false;
+    return true;
+  };
+  for (const auto& e : es) {
+    if (keep(e)) j.append(e);
+  }
+  j.batchEnd();
+}
+
+}  // namespace fixture

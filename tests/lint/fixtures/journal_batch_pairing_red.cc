@@ -1,0 +1,32 @@
+// RED fixture: journal-batch-pairing. Batches opened without a batchEnd on
+// every exit path — buffered frames never reach the device.
+
+namespace fixture {
+
+// No batchEnd anywhere: flagged at the batchBegin.
+void unclosedBatch(Journal& j) {
+  j.batchBegin();  // LINT-EXPECT[journal-batch-pairing]
+  appendAll(j);
+}
+
+// Early return while the batch is open.
+void earlyReturn(Journal& j, const Extent& e) {
+  j.batchBegin();
+  if (e.empty()) {
+    return;  // LINT-EXPECT[journal-batch-pairing]
+  }
+  j.append(e);
+  j.batchEnd();
+}
+
+// Throwing while the batch is open loses the buffered frames too.
+void throwWhileOpen(Journal& j, const Extent& e) {
+  j.batchBegin();
+  if (!e.valid()) {
+    throw BadExtent{};  // LINT-EXPECT[journal-batch-pairing]
+  }
+  j.append(e);
+  j.batchEnd();
+}
+
+}  // namespace fixture

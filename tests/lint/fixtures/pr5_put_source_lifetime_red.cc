@@ -1,0 +1,26 @@
+// RED fixture: reduced reproduction of the PR 5 `ensureLoadedIndependent`
+// bug. The original read pages into a function-local scratch vector, built
+// an indexed-put block list pointing at scratch.data(), and queued the
+// putIndexed — then returned with the passive-target epoch still open. The
+// lock epoch closed in the caller, after scratch was destroyed, so the RMA
+// engine read freed memory.
+//
+// The lifetime obligation flows through the container: scratch.data() is
+// inserted into `blocks`, and `blocks` is what reaches the sink.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void ensureLoadedIndependent(mpi::Window* window, Rank owner,
+                             std::int64_t off) {
+  std::vector<std::byte> scratch(512);
+  readPage(off, scratch);
+  std::vector<mpi::IndexedBlock> blocks;
+  blocks.push_back({0, scratch.data(), 512});
+  window->putIndexed(owner, blocks);  // LINT-EXPECT[rma-source-lifetime]
+  // Missing: window->unlock(owner) — it happens in the caller, after
+  // `scratch` is gone.
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// RED fixture: reduced reproduction of the PR 8 `~File` teardown bug,
+// translated from member order to scope order (declaration order IS
+// destruction order either way). The original: File's delegate client
+// member held a pointer into the comm member declared *after* it, so
+// member destruction tore down the comm while the client could still
+// touch it. Scope version: a longer-lived aggregator retains the address
+// of an inner-scope comm and is never told to let go before the comm dies.
+#include <cstddef>
+
+namespace fixture {
+
+void teardownOrder(const Config& cfg) {
+  DelegateClient agg(cfg);
+  {
+    sim::Comm comm(cfg.world_size);
+    agg.attach(&comm);  // LINT-EXPECT[rma-source-lifetime]
+    runEpoch(agg);
+  }  // `comm` dies here; `agg` still holds its address
+  agg.flush();
+}
+
+// Fixed shape (silent): release the retainer before the retained scope
+// closes — the PR 8 fix, expressed as an explicit detach.
+void teardownOrderFixed(const Config& cfg) {
+  DelegateClient agg(cfg);
+  {
+    sim::Comm comm(cfg.world_size);
+    agg.attach(&comm);
+    runEpoch(agg);
+    agg.detach();
+  }
+  agg.flush();
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// GREEN fixture: raii-temporary. Bound RAII objects and look-alike shapes
+// the rule must leave alone.
+
+namespace fixture {
+
+void flushWithTag(Journal& j) {
+  check::ScopedUserTag tag(kTagFlush);
+  j.flush();
+}
+
+void guardedAppend(Journal& j, const Extent& e) {
+  std::lock_guard<SpinLock> hold(mu_);
+  j.append(e);
+}
+
+// Constructing a RAII value into a function argument is not an unbound
+// expression statement.
+void passTag(Journal& j) {
+  record(check::ScopedUserTag{kTagFlush});
+  j.flush();
+}
+
+}  // namespace fixture

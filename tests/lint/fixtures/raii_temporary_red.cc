@@ -1,0 +1,21 @@
+// RED fixture: raii-temporary. Unbound RAII temporaries destruct at the
+// semicolon — the tag/lock covers nothing.
+
+namespace fixture {
+
+void flushWithTag(Journal& j) {
+  check::ScopedUserTag{kTagFlush};  // LINT-EXPECT[raii-temporary]
+  j.flush();
+}
+
+void guardedAppend(Journal& j, const Extent& e) {
+  std::lock_guard<SpinLock>(mu_);  // LINT-EXPECT[raii-temporary]
+  j.append(e);
+}
+
+void traceEpoch(sim::Engine& eng) {
+  sim::ScopedTimeline{eng, "epoch"};  // LINT-EXPECT[raii-temporary]
+  runEpoch(eng);
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// GREEN fixture: rma-source-lifetime. Every shape here is sound; the rule
+// must stay silent on all of them.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+// Epoch closed in the same scope: the put source outlives the unlock.
+void putThenUnlock(mpi::Window& window, Rank owner) {
+  std::vector<std::byte> buf(512);
+  window.lock(mpi::LockType::kExclusive, owner);
+  window.put(owner, 0, buf.data(), 512);
+  window.unlock(owner);
+}
+
+// The post-PR 5 ensureLoadedIndependent shape: the put source is
+// caller-owned (a reference parameter), so its lifetime is the caller's
+// problem — and the caller unlocks before it dies.
+void callerOwnedScratch(mpi::Window& window, Rank owner,
+                        std::vector<std::byte>& scratch) {
+  scratch.assign(512, std::byte{0});
+  window.put(owner, 0, scratch.data(), 512);
+}
+
+// isend completed by waitAll before the sources die.
+void sendAllWait(mpi::Comm& comm, int peers) {
+  std::vector<std::byte> msg(64);
+  std::vector<mpi::Request> reqs;
+  for (int p = 0; p < peers; ++p) {
+    reqs.push_back(comm.isend(msg.data(), 64, p, 7));
+  }
+  comm.waitAll(reqs);
+}
+
+// A reference binding is not an owner: `blob` aliases storage owned by
+// `frames`, which outlives the waitAll after the loop.
+void referenceSources(mpi::Comm& comm,
+                      std::vector<std::vector<std::byte>>& frames) {
+  std::vector<mpi::Request> reqs;
+  for (int p = 0; p < 4; ++p) {
+    const auto& blob = frames[p];
+    reqs.push_back(comm.isend(blob.data(), 8, p, 7));
+  }
+  comm.waitAll(reqs);
+}
+
+}  // namespace fixture

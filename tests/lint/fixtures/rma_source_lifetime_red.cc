@@ -1,0 +1,35 @@
+// RED fixture: rma-source-lifetime. Never compiled — linted by
+// lint_selftest, which requires exactly the findings annotated below.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+// Direct shape: a block-local buffer feeds window.put and the scope ends
+// with the passive-target epoch still open (unlock happens in the caller,
+// after the buffer is gone).
+void directPut(mpi::Window& window, Rank owner) {
+  std::vector<std::byte> buf(512);
+  fill(buf);
+  window.put(owner, 0, buf.data(), 512);  // LINT-EXPECT[rma-source-lifetime]
+}
+
+// Inner-scope variant: the buffer dies at the `}` of the if-block, before
+// the unlock that follows it.
+void innerScope(mpi::Window& window, Rank owner, bool cold) {
+  window.lock(mpi::LockType::kExclusive, owner);
+  if (cold) {
+    std::vector<std::byte> page(4096);
+    window.put(owner, 0, page.data(), 4096);  // LINT-EXPECT[rma-source-lifetime]
+  }
+  window.unlock(owner);  // too late: `page` is already gone
+}
+
+// isend variant: the wire message is freed before anything waits on the
+// request.
+void asyncSend(mpi::Comm& comm, Rank peer) {
+  std::vector<std::byte> msg(64);
+  requests_.push_back(comm.isend(msg.data(), 64, peer, 7));  // LINT-EXPECT[rma-source-lifetime]
+}
+
+}  // namespace fixture
